@@ -1,0 +1,155 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment once per
+// iteration at quick (test-scale) problem sizes and reports the paper's
+// headline quantity as custom metrics; `cashmere-bench -all` runs the
+// same experiments at the full (scaled) evaluation sizes.
+package cashmere_test
+
+import (
+	"io"
+	"testing"
+
+	"cashmere/internal/bench"
+	"cashmere/internal/core"
+)
+
+// BenchmarkTable1BasicOps regenerates Table 1: basic operation costs of
+// the two-level and one-level protocol families.
+func BenchmarkTable1BasicOps(b *testing.B) {
+	var two, one bench.BasicOps
+	for i := 0; i < b.N; i++ {
+		var err error
+		if two, err = bench.MeasureBasicOps(core.TwoLevel); err != nil {
+			b.Fatal(err)
+		}
+		if one, err = bench.MeasureBasicOps(core.OneLevelDiff); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(two.LockAcquire)/1000, "2L-lock-us")
+	b.ReportMetric(float64(one.LockAcquire)/1000, "1L-lock-us")
+	b.ReportMetric(float64(two.Barrier32)/1000, "2L-barrier32-us")
+	b.ReportMetric(float64(two.PageTransferRemote)/1000, "2L-xfer-us")
+}
+
+// benchApp runs one application under one protocol at the full cluster
+// and reports its virtual speedup and data volume.
+func benchApp(b *testing.B, name string, kind core.Kind) {
+	b.Helper()
+	s := bench.NewSuite(true)
+	v := bench.Variant{Kind: kind}
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		sp, err = s.Speedup(name, v, bench.FullCluster)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	res, _ := s.Run(name, v, bench.FullCluster)
+	b.ReportMetric(sp, "speedup")
+	b.ReportMetric(res.DataMB(), "dataMB")
+	b.ReportMetric(res.ExecSeconds()*1000, "virtual-ms")
+}
+
+// BenchmarkTable3 regenerates one Table 3 column pair per suite
+// application: the 2L statistics at 32 processors (the companion 1LD
+// runs are exercised by the Figure 7 benchmarks).
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range bench.AppNames() {
+		b.Run(name, func(b *testing.B) { benchApp(b, name, core.TwoLevel) })
+	}
+}
+
+// BenchmarkFigure6Breakdown regenerates the Figure 6 execution-time
+// breakdown for the full protocol set on one application.
+func BenchmarkFigure6Breakdown(b *testing.B) {
+	s := bench.NewSuite(true)
+	for i := 0; i < b.N; i++ {
+		if err := s.Figure6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7's bars for each application
+// under the main head-to-head (2L vs 1LD) at the full configuration.
+func BenchmarkFigure7(b *testing.B) {
+	for _, name := range bench.AppNames() {
+		for _, v := range []bench.Variant{
+			{Kind: core.TwoLevel}, {Kind: core.OneLevelDiff},
+		} {
+			b.Run(name+"/"+v.Label(), func(b *testing.B) {
+				benchApp(b, name, v.Kind)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7Clustering regenerates the clustering axis of Figure
+// 7: the same processor count at different degrees of clustering.
+func BenchmarkFigure7Clustering(b *testing.B) {
+	s := bench.NewSuite(true)
+	for _, topo := range []bench.Topology{
+		{Nodes: 8, PPN: 1}, {Nodes: 4, PPN: 2}, {Nodes: 2, PPN: 4},
+	} {
+		b.Run("SOR/"+topo.Label(), func(b *testing.B) {
+			var sp float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				sp, err = s.Speedup("SOR", bench.Variant{Kind: core.TwoLevel}, topo)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sp, "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationShootdown regenerates Section 3.3.4: two-way diffing
+// (2L) versus polling- and interrupt-based shootdown (2LS) on Water,
+// the suite's false-sharing lock application.
+func BenchmarkAblationShootdown(b *testing.B) {
+	s := bench.NewSuite(true)
+	for _, v := range []bench.Variant{
+		{Kind: core.TwoLevel},
+		{Kind: core.TwoLevelSD},
+		{Kind: core.TwoLevelSD, Interrupts: true},
+	} {
+		b.Run(v.Label(), func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = s.Run("Water", v, bench.FullCluster)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ExecSeconds()*1000, "virtual-ms")
+		})
+	}
+}
+
+// BenchmarkAblationLockFree regenerates Section 3.3.5: lock-free versus
+// globally-locked protocol metadata on Barnes, the suite's heaviest
+// directory user.
+func BenchmarkAblationLockFree(b *testing.B) {
+	s := bench.NewSuite(true)
+	for _, v := range []bench.Variant{
+		{Kind: core.TwoLevel},
+		{Kind: core.TwoLevel, LockBased: true},
+	} {
+		b.Run(v.Label(), func(b *testing.B) {
+			var res core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = s.Run("Barnes", v, bench.FullCluster)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ExecSeconds()*1000, "virtual-ms")
+		})
+	}
+}

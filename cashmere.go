@@ -1,0 +1,94 @@
+// Package cashmere is a Go reproduction of Cashmere-2L, the two-level
+// software coherent shared memory system of Stets et al. (SOSP 1997),
+// together with the comparison protocols and the full evaluation
+// harness of the paper.
+//
+// The original system ran on a cluster of AlphaServer SMPs connected by
+// DEC's Memory Channel remote-write network, using virtual-memory page
+// protection to detect shared accesses. This library reproduces the
+// system on a simulated platform: a Memory Channel model with the
+// paper's latencies and bandwidths, software page tables checked inline
+// (a Go process cannot cede page-fault handling to a library), and
+// per-processor virtual clocks driven by the paper's measured operation
+// costs. Applications execute for real — the protocols move real data,
+// and results are validated against sequential references — while
+// speedups and protocol statistics come from virtual time.
+//
+// # Quick start
+//
+//	cfg := cashmere.Config{
+//		Nodes:        4,
+//		ProcsPerNode: 2,
+//		Protocol:     cashmere.TwoLevel,
+//		SharedWords:  1 << 16,
+//	}
+//	c, err := cashmere.New(cfg)
+//	if err != nil { ... }
+//	res := c.Run(func(p *cashmere.Proc) {
+//		p.Store(p.ID(), int64(p.ID()))
+//		p.Barrier()
+//		sum := int64(0)
+//		for i := 0; i < p.NProcs(); i++ {
+//			sum += p.Load(i)
+//		}
+//		_ = sum
+//	})
+//	fmt.Println(res.ExecSeconds())
+//
+// Within the body, p.Load/p.Store (and LoadF/StoreF for float64 data)
+// access the shared address space; p.Lock/p.Unlock, p.Barrier,
+// p.SetFlag/p.WaitFlag synchronize with release-consistency semantics;
+// p.Compute charges modelled computation time, and p.Poll charges the
+// message-polling instrumentation the real system inserts at loop
+// heads. Applications must be data-race-free: conflicting accesses must
+// be separated by the provided synchronization operations, exactly as
+// the paper requires.
+//
+// The benchmark suite of the paper (SOR, LU, Water, TSP, Gauss, Ilink,
+// Em3d, Barnes) and the harness regenerating its tables and figures
+// live under cmd/cashmere-bench; see DESIGN.md and EXPERIMENTS.md.
+package cashmere
+
+import (
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// Re-exported protocol engine types; see the internal/core documentation
+// for details.
+type (
+	// Config describes a cluster and protocol configuration.
+	Config = core.Config
+	// Cluster is a simulated cluster ready to Run one program.
+	Cluster = core.Cluster
+	// Proc is the per-processor handle passed to the program body.
+	Proc = core.Proc
+	// Kind selects a coherence protocol.
+	Kind = core.Kind
+	// Result carries aggregated statistics and per-processor finish
+	// times.
+	Result = core.Result
+	// CostModel holds the timing parameters of the simulated platform.
+	CostModel = costs.Model
+)
+
+// The coherence protocols evaluated in the paper.
+const (
+	// TwoLevel is Cashmere-2L, the paper's contribution.
+	TwoLevel = core.TwoLevel
+	// TwoLevelSD is Cashmere-2LS, the shootdown variant.
+	TwoLevelSD = core.TwoLevelSD
+	// OneLevelDiff is Cashmere-1LD, one protocol node per processor
+	// with twins and diffs.
+	OneLevelDiff = core.OneLevelDiff
+	// OneLevelWrite is Cashmere-1L, one protocol node per processor
+	// with write doubling.
+	OneLevelWrite = core.OneLevelWrite
+)
+
+// New builds a cluster for the given configuration.
+func New(cfg Config) (*Cluster, error) { return core.New(cfg) }
+
+// DefaultCosts returns the timing model of the paper's platform (eight
+// AlphaServer 2100 4/233 nodes on a first-generation Memory Channel).
+func DefaultCosts() CostModel { return costs.Default() }

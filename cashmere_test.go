@@ -1,0 +1,88 @@
+package cashmere_test
+
+import (
+	"testing"
+
+	"cashmere"
+)
+
+func TestQuickstartAPI(t *testing.T) {
+	cfg := cashmere.Config{
+		Nodes:        4,
+		ProcsPerNode: 2,
+		Protocol:     cashmere.TwoLevel,
+		SharedWords:  1 << 12,
+	}
+	c, err := cashmere.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(func(p *cashmere.Proc) {
+		p.Store(p.ID(), int64(p.ID()*3))
+		p.Barrier()
+		for i := 0; i < p.NProcs(); i++ {
+			if got := p.Load(i); got != int64(i*3) {
+				t.Errorf("proc %d read %d = %d, want %d", p.ID(), i, got, i*3)
+				return
+			}
+		}
+	})
+	if res.ExecSeconds() <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+	for i := 0; i < 8; i++ {
+		if got := c.ReadShared(i); got != int64(i*3) {
+			t.Errorf("ReadShared(%d) = %d, want %d", i, got, i*3)
+		}
+	}
+}
+
+func TestAllProtocolsViaPublicAPI(t *testing.T) {
+	for _, k := range []cashmere.Kind{
+		cashmere.TwoLevel, cashmere.TwoLevelSD,
+		cashmere.OneLevelDiff, cashmere.OneLevelWrite,
+	} {
+		c, err := cashmere.New(cashmere.Config{
+			Nodes: 2, ProcsPerNode: 2, Protocol: k, SharedWords: 4096, Locks: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		c.Run(func(p *cashmere.Proc) {
+			for i := 0; i < 5; i++ {
+				p.Lock(0)
+				p.Store(0, p.Load(0)+1)
+				p.Unlock(0)
+			}
+			p.Barrier()
+			if got := p.Load(0); got != 20 {
+				t.Errorf("%v: counter = %d, want 20", k, got)
+			}
+		})
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	m := cashmere.DefaultCosts()
+	if m.MCWriteLatency != 5200 {
+		t.Errorf("MCWriteLatency = %d, want 5200", m.MCWriteLatency)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	c, err := cashmere.New(cashmere.Config{
+		Nodes: 1, ProcsPerNode: 1, SharedWords: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(p *cashmere.Proc) {
+		p.StoreF(10, -2.5e17)
+		if got := p.LoadF(10); got != -2.5e17 {
+			t.Errorf("LoadF = %v", got)
+		}
+	})
+	if got := c.ReadSharedF(10); got != -2.5e17 {
+		t.Errorf("ReadSharedF = %v", got)
+	}
+}

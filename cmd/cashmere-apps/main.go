@@ -1,0 +1,66 @@
+// Command cashmere-apps lists the benchmark suite and optionally
+// validates every application under every protocol at a small
+// configuration — a fast end-to-end health check of the protocols.
+//
+// Usage:
+//
+//	cashmere-apps            # list the suite
+//	cashmere-apps -validate  # run every app x protocol and verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+func main() {
+	validate := flag.Bool("validate", false, "run every application under every protocol and verify results")
+	flag.Parse()
+
+	fmt.Printf("%-8s %s\n", "Program", "Problem Size (default evaluation scale)")
+	m := costs.Default()
+	for _, a := range apps.All() {
+		fmt.Printf("%-8s %s (sequential %.2fs virtual)\n",
+			a.Name(), a.DataSet(), float64(a.SeqTime(m))/1e9)
+	}
+	if !*validate {
+		return
+	}
+
+	fmt.Println("\nvalidating (tiny sizes, 2 nodes x 2 procs):")
+	kinds := []core.Kind{core.TwoLevel, core.TwoLevelSD, core.OneLevelDiff, core.OneLevelWrite}
+	failed := false
+	for _, a := range apps.Small() {
+		for _, k := range kinds {
+			app := apps.ByName(a.Name())
+			_ = app
+			inst := freshSmall(a.Name())
+			cfg := core.Config{Nodes: 2, ProcsPerNode: 2, Protocol: k}
+			if _, err := apps.Run(inst, cfg); err != nil {
+				fmt.Printf("  %-8s %-4s FAIL: %v\n", a.Name(), k, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("  %-8s %-4s ok\n", a.Name(), k)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// freshSmall returns a new small instance by name (instances cache
+// their layout and sequential results, so each run gets its own).
+func freshSmall(name string) apps.App {
+	for _, a := range apps.Small() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}

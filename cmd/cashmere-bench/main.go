@@ -1,0 +1,87 @@
+// Command cashmere-bench regenerates the evaluation of the Cashmere-2L
+// paper: Tables 1-3, Figures 6-7, and the Section 3.3.4/3.3.5 ablations.
+//
+// Usage:
+//
+//	cashmere-bench -all            # everything (minutes at default sizes)
+//	cashmere-bench -table 3       # one table (1, 2, 3, or "costs")
+//	cashmere-bench -figure 7      # one figure (6 or 7)
+//	cashmere-bench -ablation shootdown|lockfree
+//	cashmere-bench -quick -all    # tiny problem sizes (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cashmere/internal/bench"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use tiny problem sizes")
+		all      = flag.Bool("all", false, "run every table, figure, and ablation")
+		table    = flag.String("table", "", `table to regenerate: "1", "2", "3", or "costs"`)
+		figure   = flag.String("figure", "", `figure to regenerate: "6" or "7"`)
+		ablation = flag.String("ablation", "", `ablation to run: "shootdown" or "lockfree"`)
+	)
+	flag.Parse()
+
+	s := bench.NewSuite(*quick)
+	w := os.Stdout
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	ran := false
+	sep := func() { fmt.Fprintln(w) }
+
+	if *all || *table == "costs" {
+		bench.BasicCosts(w)
+		sep()
+		ran = true
+	}
+	if *all || *table == "1" {
+		fail(bench.Table1(w))
+		sep()
+		ran = true
+	}
+	if *all || *table == "2" {
+		s.Table2(w)
+		sep()
+		ran = true
+	}
+	if *all || *table == "3" {
+		fail(s.Table3(w))
+		sep()
+		ran = true
+	}
+	if *all || *figure == "6" {
+		fail(s.Figure6(w))
+		sep()
+		ran = true
+	}
+	if *all || *figure == "7" {
+		fail(s.Figure7(w))
+		sep()
+		ran = true
+	}
+	if *all || *ablation == "shootdown" {
+		fail(s.AblationShootdown(w))
+		sep()
+		ran = true
+	}
+	if *all || *ablation == "lockfree" {
+		fail(s.AblationLockFree(w))
+		sep()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

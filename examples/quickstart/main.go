@@ -1,0 +1,41 @@
+// Quickstart: a tiny shared-memory program on a simulated Cashmere-2L
+// cluster. Every processor writes one word of a shared page; after a
+// barrier every processor reads all of them back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cashmere"
+)
+
+func main() {
+	cfg := cashmere.Config{
+		Nodes:        4,
+		ProcsPerNode: 2,
+		Protocol:     cashmere.TwoLevel,
+		SharedWords:  1 << 14,
+	}
+	c, err := cashmere.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := c.Run(func(p *cashmere.Proc) {
+		p.Store(p.ID(), int64(100+p.ID()))
+		p.Barrier()
+		sum := int64(0)
+		for i := 0; i < p.NProcs(); i++ {
+			sum += p.Load(i)
+		}
+		if p.ID() == 0 {
+			fmt.Printf("proc 0 sees sum = %d\n", sum)
+		}
+	})
+	fmt.Printf("virtual execution time: %.3f ms over %d processors\n",
+		res.ExecSeconds()*1000, res.Procs)
+	fmt.Printf("page transfers: %d, data moved: %.2f MB\n",
+		res.Counts[4], res.DataMB())
+}

@@ -1,0 +1,46 @@
+// SOR example: runs the red-black successive over-relaxation benchmark
+// (the paper's highest computation-to-communication-ratio application)
+// on the full simulated cluster under a chosen protocol and prints its
+// speedup and protocol statistics.
+//
+//	go run ./examples/sor
+//	go run ./examples/sor -protocol 1LD -nodes 4 -ppn 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cashmere"
+	"cashmere/internal/apps"
+	"cashmere/internal/core"
+)
+
+func main() {
+	proto := flag.String("protocol", "2L", "2L, 2LS, 1LD, or 1L")
+	nodes := flag.Int("nodes", 8, "SMP nodes")
+	ppn := flag.Int("ppn", 4, "processors per node")
+	flag.Parse()
+
+	kinds := map[string]cashmere.Kind{
+		"2L": cashmere.TwoLevel, "2LS": cashmere.TwoLevelSD,
+		"1LD": cashmere.OneLevelDiff, "1L": cashmere.OneLevelWrite,
+	}
+	kind, ok := kinds[*proto]
+	if !ok {
+		log.Fatalf("unknown protocol %q", *proto)
+	}
+
+	app := apps.DefaultSOR()
+	cfg := core.Config{Nodes: *nodes, ProcsPerNode: *ppn, Protocol: kind}
+	res, err := apps.Run(app, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SOR %s on %d:%d under %s\n", app.DataSet(), *nodes**ppn, *ppn, kind)
+	fmt.Printf("speedup %.1f (sequential %.2fs, parallel %.2fs)\n",
+		apps.Speedup(app, cfg, res),
+		float64(app.SeqTime(cashmere.DefaultCosts()))/1e9, res.ExecSeconds())
+	fmt.Print(res.Total.String())
+}

@@ -1,0 +1,409 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// Barnes is the N-body simulation from SPLASH using the hierarchical
+// Barnes-Hut method (paper Section 3.2). The major shared structures
+// are the body array and the cell (oct-tree) array. Tree construction
+// is performed sequentially, as in the original, while the force
+// computation is parallelized with dynamic load balancing (a shared
+// work counter under a lock) and the integration phase is statically
+// partitioned; barriers separate the phases. The single-producer tree
+// plus all-consumer force phase makes Barnes the heaviest generator of
+// page fetches, directory updates, and write notices in the suite —
+// the application with the paper's largest two-level win (46%).
+type Barnes struct {
+	N     int
+	Steps int
+	Theta float64
+
+	// Shared layout. Tree nodes are interleaved records of nodeStride
+	// words so one traversal step touches one region of one page:
+	// child[8], com[3], mass, center[3], half, body.
+	pos, vel, acc int // 3*N float64 each
+	nodes         int // nodeStride*cap record array
+	nnodes        int // shared node count
+	counter       int // dynamic load-balance cursor
+
+	cap int
+
+	seqPos []float64
+	seqNS  int64
+}
+
+// DefaultBarnes returns the scaled-down default instance.
+func DefaultBarnes() *Barnes { return &Barnes{N: 4096, Steps: 2, Theta: 0.7} }
+
+// SmallBarnes returns a tiny instance for tests.
+func SmallBarnes() *Barnes { return &Barnes{N: 64, Steps: 2, Theta: 0.8} }
+
+// Name returns "Barnes".
+func (b *Barnes) Name() string { return "Barnes" }
+
+// DataSet describes the simulation.
+func (b *Barnes) DataSet() string {
+	return fmt.Sprintf("%d bodies (%.1f MB with cells), theta %.1f, %d steps",
+		b.N, float64((9*b.N+nodeStride*b.cap)*8)/(1<<20), b.Theta, b.Steps)
+}
+
+// Shape returns the resources Barnes needs.
+func (b *Barnes) Shape() Shape {
+	b.cap = 4*b.N + 64
+	l := NewLayout(PageWords)
+	b.pos = l.Array(3 * b.N)
+	b.vel = l.Array(3 * b.N)
+	b.acc = l.Array(3 * b.N)
+	b.nodes = l.Array(nodeStride * b.cap)
+	b.nnodes = l.Array(1)
+	b.counter = l.Array(1)
+	return Shape{SharedWords: l.Words(), Locks: 1}
+}
+
+// nodeStride is the record size of one tree node; field offsets follow.
+const (
+	nodeStride = 20
+	offChild   = 0 // 8 words
+	offCOM     = 8 // 3 words
+	offMass    = 11
+	offCenter  = 12 // 3 words
+	offHalf    = 15
+	offBody    = 16
+)
+
+const (
+	barnesInteractNS = 50000
+	barnesBuildNS    = 600
+	barnesDT         = 2e-2
+	barnesSoft       = 0.05
+	barnesChunk      = 32
+)
+
+func (b *Barnes) initPos(i, d int) float64 {
+	// A jittered cube, same recipe as Water but a larger spread.
+	side := int(math.Cbrt(float64(b.N))) + 1
+	c := [3]int{i % side, (i / side) % side, i / (side * side)}
+	return 2.0*float64(c[d]) + 0.7*float64((i*13+d*5)%10)/10.0
+}
+
+// mem abstracts shared vs plain memory so the tree code is written once
+// and used by both the parallel body and the sequential reference.
+type mem interface {
+	ld(addr int) float64
+	st(addr int, v float64)
+	ldi(addr int) int64
+	sti(addr int, v int64)
+}
+
+type procMem struct{ p *core.Proc }
+
+func (m procMem) ld(a int) float64    { return m.p.LoadF(a) }
+func (m procMem) st(a int, v float64) { m.p.StoreF(a, v) }
+func (m procMem) ldi(a int) int64     { return m.p.Load(a) }
+func (m procMem) sti(a int, v int64)  { m.p.Store(a, v) }
+
+type flatMem struct{ w []float64 }
+
+func (m flatMem) ld(a int) float64    { return m.w[a] }
+func (m flatMem) st(a int, v float64) { m.w[a] = v }
+func (m flatMem) ldi(a int) int64     { return int64(m.w[a]) }
+func (m flatMem) sti(a int, v int64)  { m.w[a] = float64(v) }
+
+// buildTree constructs the oct-tree over the current positions and
+// returns the number of tree operations performed (for time charging).
+func (b *Barnes) buildTree(m mem) int64 {
+	ops := int64(0)
+	// Bounding cube.
+	lo, hi := math.MaxFloat64, -math.MaxFloat64
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < 3; d++ {
+			v := m.ld(b.pos + 3*i + d)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	half := (hi-lo)/2 + 1e-6
+	mid := (hi + lo) / 2
+
+	newNode := func(cx, cy, cz, h float64) int {
+		id := int(m.ldi(b.nnodes))
+		if id >= b.cap {
+			panic("barnes: node pool exhausted")
+		}
+		m.sti(b.nnodes, int64(id+1))
+		for c := 0; c < 8; c++ {
+			m.sti(b.nodes+nodeStride*id+offChild+c, -1)
+		}
+		m.st(b.nodes+nodeStride*id+offCenter+0, cx)
+		m.st(b.nodes+nodeStride*id+offCenter+1, cy)
+		m.st(b.nodes+nodeStride*id+offCenter+2, cz)
+		m.st(b.nodes+nodeStride*id+offHalf, h)
+		m.sti(b.nodes+nodeStride*id+offBody, -1)
+		m.st(b.nodes+nodeStride*id+offMass, 0)
+		return id
+	}
+
+	m.sti(b.nnodes, 0)
+	root := newNode(mid, mid, mid, half)
+
+	var insert func(node, body int)
+	insert = func(node, body int) {
+		ops++
+		oct := 0
+		var cc [3]float64
+		for d := 0; d < 3; d++ {
+			cc[d] = m.ld(b.nodes + nodeStride*node + offCenter + d)
+			if m.ld(b.pos+3*body+d) >= cc[d] {
+				oct |= 1 << d
+			}
+		}
+		child := int(m.ldi(b.nodes + nodeStride*node + offChild + oct))
+		h := m.ld(b.nodes+nodeStride*node+offHalf) / 2
+		var ch [3]float64
+		for d := 0; d < 3; d++ {
+			ch[d] = cc[d] - h
+			if oct&(1<<d) != 0 {
+				ch[d] = cc[d] + h
+			}
+		}
+		switch {
+		case child < 0:
+			leaf := newNode(ch[0], ch[1], ch[2], h)
+			m.sti(b.nodes+nodeStride*leaf+offBody, int64(body))
+			m.sti(b.nodes+nodeStride*node+offChild+oct, int64(leaf))
+		case m.ldi(b.nodes+nodeStride*child+offBody) >= 0:
+			// Split the leaf and reinsert both bodies.
+			old := int(m.ldi(b.nodes + nodeStride*child + offBody))
+			m.sti(b.nodes+nodeStride*child+offBody, -1)
+			insert(child, old)
+			insert(child, body)
+		default:
+			insert(child, body)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		insert(root, i)
+	}
+
+	// Centers of mass, bottom-up.
+	var com func(node int)
+	com = func(node int) {
+		ops++
+		if bd := m.ldi(b.nodes + nodeStride*node + offBody); bd >= 0 {
+			for d := 0; d < 3; d++ {
+				m.st(b.nodes+nodeStride*node+offCOM+d, m.ld(b.pos+3*int(bd)+d))
+			}
+			m.st(b.nodes+nodeStride*node+offMass, 1)
+			return
+		}
+		var sum [3]float64
+		mass := 0.0
+		for c := 0; c < 8; c++ {
+			ch := int(m.ldi(b.nodes + nodeStride*node + offChild + c))
+			if ch < 0 {
+				continue
+			}
+			com(ch)
+			cm := m.ld(b.nodes + nodeStride*ch + offMass)
+			mass += cm
+			for d := 0; d < 3; d++ {
+				sum[d] += cm * m.ld(b.nodes+nodeStride*ch+offCOM+d)
+			}
+		}
+		m.st(b.nodes+nodeStride*node+offMass, mass)
+		for d := 0; d < 3; d++ {
+			if mass > 0 {
+				m.st(b.nodes+nodeStride*node+offCOM+d, sum[d]/mass)
+			}
+		}
+	}
+	com(root)
+	return ops
+}
+
+// forceOn computes the acceleration on body i by tree traversal into
+// out (3 words), returning the interaction count.
+func (b *Barnes) forceOn(m mem, i int, out []float64) int64 {
+	var pi [3]float64
+	for d := 0; d < 3; d++ {
+		pi[d] = m.ld(b.pos + 3*i + d)
+	}
+	var a [3]float64
+	inter := int64(0)
+	var walk func(node int)
+	walk = func(node int) {
+		bd := m.ldi(b.nodes + nodeStride*node + offBody)
+		if bd == int64(i) {
+			return
+		}
+		var dx [3]float64
+		r2 := barnesSoft
+		for d := 0; d < 3; d++ {
+			dx[d] = m.ld(b.nodes+nodeStride*node+offCOM+d) - pi[d]
+			r2 += dx[d] * dx[d]
+		}
+		size := 2 * m.ld(b.nodes+nodeStride*node+offHalf)
+		if bd >= 0 || size*size < b.Theta*b.Theta*r2 {
+			// Leaf or far-enough cell: single interaction.
+			mass := m.ld(b.nodes + nodeStride*node + offMass)
+			inv := mass / (r2 * math.Sqrt(r2))
+			for d := 0; d < 3; d++ {
+				a[d] += dx[d] * inv
+			}
+			inter++
+			return
+		}
+		for c := 0; c < 8; c++ {
+			if ch := int(m.ldi(b.nodes + nodeStride*node + offChild + c)); ch >= 0 {
+				walk(ch)
+			}
+		}
+	}
+	walk(0)
+	copy(out, a[:])
+	return inter
+}
+
+// Body runs the parallel simulation.
+func (b *Barnes) Body(p *core.Proc) {
+	m := procMem{p}
+	p.BeginInit()
+	if p.ID() == 0 {
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < 3; d++ {
+				p.StoreF(b.pos+3*i+d, b.initPos(i, d))
+				p.StoreF(b.vel+3*i+d, 0)
+			}
+		}
+	}
+	p.EndInit()
+
+	lo, hi := chunk(b.N, p.ID(), p.NProcs())
+	accBuf := make([]float64, 3*b.N)
+	p.Warmup(func() {
+		for i := 0; i < 3*b.N; i += PageWords / 2 {
+			p.LoadF(b.pos + i)
+		}
+		for i := lo; i < hi; i++ {
+			p.StoreF(b.vel+3*i, p.LoadF(b.vel+3*i))
+		}
+	})
+	for step := 0; step < b.Steps; step++ {
+		// Sequential tree build by processor 0.
+		if p.ID() == 0 {
+			ops := b.buildTree(m)
+			p.Compute(ops*barnesBuildNS, ops*8)
+			p.Store(b.counter, 0)
+		}
+		p.Barrier()
+
+		// Force computation over interleaved chunks (bodies are spread
+		// uniformly, so interleaving chunks of barnesChunk bodies
+		// balances load; the original's lock-based dynamic balancing
+		// adds only noise at this scale). Forces land in a private
+		// buffer and are written to the shared array once per phase, as
+		// SPLASH Barnes computes into cell-private state.
+		np, me := p.NProcs(), p.ID()
+		for k := me * barnesChunk; k < b.N; k += np * barnesChunk {
+			end := k + barnesChunk
+			if end > b.N {
+				end = b.N
+			}
+			inter := int64(0)
+			for i := k; i < end; i++ {
+				inter += b.forceOn(m, i, accBuf[3*i:3*i+3])
+				p.Poll()
+			}
+			p.Compute(inter*barnesInteractNS, inter*8)
+		}
+		for k := me * barnesChunk; k < b.N; k += np * barnesChunk {
+			end := k + barnesChunk
+			if end > b.N {
+				end = b.N
+			}
+			for i := k; i < end; i++ {
+				for d := 0; d < 3; d++ {
+					p.StoreF(b.acc+3*i+d, accBuf[3*i+d])
+				}
+			}
+		}
+		p.Barrier()
+
+		// Integration, statically partitioned.
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				v := p.LoadF(b.vel+3*i+d) + barnesDT*p.LoadF(b.acc+3*i+d)
+				p.StoreF(b.vel+3*i+d, v)
+				p.StoreF(b.pos+3*i+d, p.LoadF(b.pos+3*i+d)+barnesDT*v)
+			}
+		}
+		p.Compute(int64(hi-lo)*100, int64(hi-lo)*24)
+		p.Barrier()
+	}
+}
+
+// runSeq computes the sequential reference on plain memory using the
+// exact same tree code.
+func (b *Barnes) runSeq(mo costs.Model) {
+	if b.seqPos != nil {
+		return
+	}
+	sh := b.Shape()
+	m := flatMem{w: make([]float64, sh.SharedWords)}
+	for i := 0; i < b.N; i++ {
+		for d := 0; d < 3; d++ {
+			m.st(b.pos+3*i+d, b.initPos(i, d))
+		}
+	}
+	clk := NewSeqClock(mo)
+	for step := 0; step < b.Steps; step++ {
+		ops := b.buildTree(m)
+		clk.Compute(ops*barnesBuildNS, ops*8)
+		inter := int64(0)
+		buf := make([]float64, 3)
+		for i := 0; i < b.N; i++ {
+			inter += b.forceOn(m, i, buf)
+			for d := 0; d < 3; d++ {
+				m.st(b.acc+3*i+d, buf[d])
+			}
+		}
+		clk.Compute(inter*barnesInteractNS, inter*8)
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < 3; d++ {
+				v := m.ld(b.vel+3*i+d) + barnesDT*m.ld(b.acc+3*i+d)
+				m.st(b.vel+3*i+d, v)
+				m.st(b.pos+3*i+d, m.ld(b.pos+3*i+d)+barnesDT*v)
+			}
+		}
+		clk.Compute(int64(b.N)*100, int64(b.N)*24)
+	}
+	b.seqPos = make([]float64, 3*b.N)
+	for i := range b.seqPos {
+		b.seqPos[i] = m.ld(b.pos + i)
+	}
+	b.seqNS = clk.NS()
+}
+
+// SeqTime returns the sequential execution time.
+func (b *Barnes) SeqTime(m costs.Model) int64 {
+	b.runSeq(m)
+	return b.seqNS
+}
+
+// Verify compares final positions. The tree and every per-body
+// traversal are deterministic regardless of which processor computes a
+// body's force, so the comparison is exact.
+func (b *Barnes) Verify(c *core.Cluster) error {
+	b.runSeq(*c.Config().Model)
+	for i, want := range b.seqPos {
+		if got := c.ReadSharedF(b.pos + i); got != want {
+			return fmt.Errorf("Barnes: pos[%d] = %g, want %g", i, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package apps
+
+import (
+	"fmt"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// Em3d simulates electromagnetic wave propagation through 3D objects
+// (paper Section 3.2, after Culler et al.'s Split-C benchmark). The
+// data structure is a bipartite graph of electric and magnetic field
+// nodes; in each half-step every E node is updated from the H nodes it
+// depends on, then vice versa, with barriers in between. With the
+// standard input, a processor's nodes depend only on its own and its
+// neighbours' nodes, so communication is boundary exchange with a much
+// lower computation-to-communication ratio than SOR — which is why
+// Em3d gains more from the two-level protocols (Section 3.3.2).
+type Em3d struct {
+	Nodes  int // field nodes of each kind
+	Degree int // dependencies per node (neighbourhood radius)
+	Iters  int
+
+	e, h int // base addresses of the two value arrays
+
+	seq   []float64 // final E then H values
+	seqNS int64
+}
+
+// DefaultEm3d returns the scaled-down default instance.
+func DefaultEm3d() *Em3d { return &Em3d{Nodes: 32 * PageWords, Degree: 4, Iters: 8} }
+
+// SmallEm3d returns a tiny instance for tests.
+func SmallEm3d() *Em3d { return &Em3d{Nodes: 256, Degree: 2, Iters: 3} }
+
+// Name returns "Em3d".
+func (e *Em3d) Name() string { return "Em3d" }
+
+// DataSet describes the graph.
+func (e *Em3d) DataSet() string {
+	return fmt.Sprintf("%d E + %d H nodes, degree %d (%.1f MB), %d iters",
+		e.Nodes, e.Nodes, e.Degree, float64(2*e.Nodes*8)/(1<<20), e.Iters)
+}
+
+// Shape returns the resources Em3d needs.
+func (e *Em3d) Shape() Shape {
+	l := NewLayout(PageWords)
+	e.e = l.Array(e.Nodes)
+	e.h = l.Array(e.Nodes)
+	return Shape{SharedWords: l.Words()}
+}
+
+const em3dOpNS = 1280
+const em3dTraffic = 160
+
+// weight is the dependency coefficient between a node and its d-th
+// neighbour; deterministic and symmetric across the E and H updates.
+func (e *Em3d) weight(d int) float64 {
+	return 1.0 / float64(2*e.Degree+2+d)
+}
+
+func (e *Em3d) initVal(kind, i int) float64 {
+	return float64((i*31+kind*17)%101) / 101.0
+}
+
+// dep returns the index of node i's d-th dependency, clamped to the
+// array (the graph is a band matrix).
+func (e *Em3d) dep(i, d int) int {
+	j := i + d - e.Degree/2
+	if j < 0 {
+		j += e.Nodes
+	}
+	if j >= e.Nodes {
+		j -= e.Nodes
+	}
+	return j
+}
+
+// Body runs the parallel simulation.
+func (e *Em3d) Body(p *core.Proc) {
+	p.BeginInit()
+	if p.ID() == 0 {
+		for i := 0; i < e.Nodes; i++ {
+			p.StoreF(e.e+i, e.initVal(0, i))
+			p.StoreF(e.h+i, e.initVal(1, i))
+		}
+	}
+	p.EndInit()
+
+	lo, hi := chunk(e.Nodes, p.ID(), p.NProcs())
+	p.Warmup(func() {
+		for i := lo; i < hi; i += PageWords / 2 {
+			p.StoreF(e.e+i, p.LoadF(e.e+i))
+			p.StoreF(e.h+i, p.LoadF(e.h+i))
+		}
+		p.LoadF(e.e + e.dep(lo, 0))
+		p.LoadF(e.h + e.dep(lo, 0))
+	})
+	for it := 0; it < e.Iters; it++ {
+		for i := lo; i < hi; i++ {
+			v := p.LoadF(e.e + i)
+			for d := 0; d < e.Degree; d++ {
+				v -= e.weight(d) * p.LoadF(e.h+e.dep(i, d))
+			}
+			p.StoreF(e.e+i, v)
+		}
+		p.PollN(int64(hi - lo))
+		p.Compute(int64(hi-lo)*int64(e.Degree)*em3dOpNS, int64(hi-lo)*em3dTraffic)
+		p.Barrier()
+		for i := lo; i < hi; i++ {
+			v := p.LoadF(e.h + i)
+			for d := 0; d < e.Degree; d++ {
+				v -= e.weight(d) * p.LoadF(e.e+e.dep(i, d))
+			}
+			p.StoreF(e.h+i, v)
+		}
+		p.PollN(int64(hi - lo))
+		p.Compute(int64(hi-lo)*int64(e.Degree)*em3dOpNS, int64(hi-lo)*em3dTraffic)
+		p.Barrier()
+	}
+}
+
+// runSeq computes the sequential reference.
+func (e *Em3d) runSeq(m costs.Model) {
+	if e.seq != nil {
+		return
+	}
+	e.Shape()
+	ev := make([]float64, e.Nodes)
+	hv := make([]float64, e.Nodes)
+	for i := range ev {
+		ev[i] = e.initVal(0, i)
+		hv[i] = e.initVal(1, i)
+	}
+	clk := NewSeqClock(m)
+	for it := 0; it < e.Iters; it++ {
+		for i := range ev {
+			v := ev[i]
+			for d := 0; d < e.Degree; d++ {
+				v -= e.weight(d) * hv[e.dep(i, d)]
+			}
+			ev[i] = v
+		}
+		clk.Compute(int64(e.Nodes)*int64(e.Degree)*em3dOpNS, int64(e.Nodes)*em3dTraffic)
+		for i := range hv {
+			v := hv[i]
+			for d := 0; d < e.Degree; d++ {
+				v -= e.weight(d) * ev[e.dep(i, d)]
+			}
+			hv[i] = v
+		}
+		clk.Compute(int64(e.Nodes)*int64(e.Degree)*em3dOpNS, int64(e.Nodes)*em3dTraffic)
+	}
+	e.seq = append(ev, hv...)
+	e.seqNS = clk.NS()
+}
+
+// SeqTime returns the sequential execution time.
+func (e *Em3d) SeqTime(m costs.Model) int64 {
+	e.runSeq(m)
+	return e.seqNS
+}
+
+// Verify compares both field arrays; the computation is barrier-
+// synchronized with a unique writer per node, so it is exact.
+func (e *Em3d) Verify(c *core.Cluster) error {
+	e.runSeq(*c.Config().Model)
+	for i := 0; i < e.Nodes; i++ {
+		if got := c.ReadSharedF(e.e + i); got != e.seq[i] {
+			return fmt.Errorf("Em3d: E[%d] = %g, want %g", i, got, e.seq[i])
+		}
+		if got := c.ReadSharedF(e.h + i); got != e.seq[e.Nodes+i] {
+			return fmt.Errorf("Em3d: H[%d] = %g, want %g", i, got, e.seq[e.Nodes+i])
+		}
+	}
+	return nil
+}

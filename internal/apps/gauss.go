@@ -1,0 +1,185 @@
+package apps
+
+import (
+	"fmt"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// Gauss solves a linear system A*x = b by Gaussian elimination with
+// back-substitution (paper Section 3.2). Rows are distributed cyclically
+// among processors for load balance; a synchronization flag per row
+// announces that the pivot row is available. The access pattern is
+// essentially single-producer/multiple-consumer — every processor reads
+// each pivot row — which is why the two-level protocols' ability to
+// coalesce remote fetches gives Gauss one of the paper's biggest wins
+// (a four-fold reduction in data transferred, Section 3.3.2). Cyclic
+// rows within shared pages also generate substantial multi-writer false
+// sharing.
+type Gauss struct {
+	N int // system dimension
+
+	mat int // N x (N+1) augmented matrix, row-major
+	sol int // solution vector (N)
+
+	seq   []float64
+	seqNS int64
+}
+
+// DefaultGauss returns the scaled-down default instance.
+func DefaultGauss() *Gauss { return &Gauss{N: 320} }
+
+// SmallGauss returns a tiny instance for tests.
+func SmallGauss() *Gauss { return &Gauss{N: 24} }
+
+// Name returns "Gauss".
+func (g *Gauss) Name() string { return "Gauss" }
+
+// DataSet describes the system.
+func (g *Gauss) DataSet() string {
+	return fmt.Sprintf("%dx%d system (%.1f MB)", g.N, g.N, float64(g.N*(g.N+1)*8)/(1<<20))
+}
+
+// Shape returns the resources Gauss needs: one flag per row.
+func (g *Gauss) Shape() Shape {
+	l := NewLayout(PageWords)
+	g.mat = l.Array(g.N * (g.N + 1))
+	g.sol = l.Array(g.N)
+	return Shape{SharedWords: l.Words(), Flags: g.N}
+}
+
+const gaussFlopNS = 12000
+const gaussTraffic = 1900
+
+func (g *Gauss) rowW() int { return g.N + 1 }
+
+func (g *Gauss) initVal(i, j int) float64 {
+	if j == g.N {
+		return float64(i + 1) // right-hand side
+	}
+	v := 1.0 / float64(1+(i+2*j)%17)
+	if i == j {
+		v += float64(g.N)
+	}
+	return v
+}
+
+// Body runs the parallel elimination.
+func (g *Gauss) Body(p *core.Proc) {
+	n, w := g.N, g.rowW()
+	p.BeginInit()
+	if p.ID() == 0 {
+		for i := 0; i < n; i++ {
+			for j := 0; j <= n; j++ {
+				p.StoreF(g.mat+i*w+j, g.initVal(i, j))
+			}
+		}
+	}
+	p.EndInit()
+
+	np, me := p.NProcs(), p.ID()
+	p.Warmup(func() {
+		for i := me; i < n; i += np {
+			p.StoreF(g.mat+i*w, p.LoadF(g.mat+i*w))
+		}
+	})
+	for k := 0; k < n; k++ {
+		if k%np == me {
+			// Normalize the pivot row and announce it.
+			piv := p.LoadF(g.mat + k*w + k)
+			for j := k; j <= n; j++ {
+				p.StoreF(g.mat+k*w+j, p.LoadF(g.mat+k*w+j)/piv)
+			}
+			p.Compute(int64(n-k+1)*gaussFlopNS, int64(n-k+1)*gaussTraffic)
+			p.SetFlag(k)
+		} else {
+			p.WaitFlag(k)
+		}
+		// Eliminate the pivot from our remaining rows.
+		for i := k + 1; i < n; i++ {
+			if i%np != me {
+				continue
+			}
+			m := p.LoadF(g.mat + i*w + k)
+			for j := k; j <= n; j++ {
+				p.StoreF(g.mat+i*w+j, p.LoadF(g.mat+i*w+j)-m*p.LoadF(g.mat+k*w+j))
+			}
+			p.PollN(int64(n - k + 1))
+			p.Compute(int64(n-k+1)*gaussFlopNS, int64(n-k+1)*gaussTraffic)
+		}
+	}
+	p.Barrier()
+	// Back substitution is the (small) serial component.
+	if me == 0 {
+		for i := n - 1; i >= 0; i-- {
+			x := p.LoadF(g.mat + i*w + n)
+			for j := i + 1; j < n; j++ {
+				x -= p.LoadF(g.mat+i*w+j) * p.LoadF(g.sol+j)
+			}
+			p.StoreF(g.sol+i, x)
+			p.Compute(int64(n-i)*gaussFlopNS, 0)
+		}
+	}
+	p.Barrier()
+}
+
+// runSeq computes the sequential reference.
+func (g *Gauss) runSeq(m costs.Model) {
+	if g.seq != nil {
+		return
+	}
+	g.Shape()
+	n, w := g.N, g.rowW()
+	a := make([]float64, n*w)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= n; j++ {
+			a[i*w+j] = g.initVal(i, j)
+		}
+	}
+	clk := NewSeqClock(m)
+	for k := 0; k < n; k++ {
+		piv := a[k*w+k]
+		for j := k; j <= n; j++ {
+			a[k*w+j] /= piv
+		}
+		clk.Compute(int64(n-k+1)*gaussFlopNS, int64(n-k+1)*gaussTraffic)
+		for i := k + 1; i < n; i++ {
+			mm := a[i*w+k]
+			for j := k; j <= n; j++ {
+				a[i*w+j] -= mm * a[k*w+j]
+			}
+			clk.Compute(int64(n-k+1)*gaussFlopNS, int64(n-k+1)*gaussTraffic)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := a[i*w+n]
+		for j := i + 1; j < n; j++ {
+			v -= a[i*w+j] * x[j]
+		}
+		x[i] = v
+		clk.Compute(int64(n-i)*gaussFlopNS, 0)
+	}
+	g.seq = x
+	g.seqNS = clk.NS()
+}
+
+// SeqTime returns the sequential execution time.
+func (g *Gauss) SeqTime(m costs.Model) int64 {
+	g.runSeq(m)
+	return g.seqNS
+}
+
+// Verify compares the solution vector. Every row is eliminated by its
+// single owner in the same order as the reference, so the comparison is
+// exact.
+func (g *Gauss) Verify(c *core.Cluster) error {
+	g.runSeq(*c.Config().Model)
+	for i, want := range g.seq {
+		if got := c.ReadSharedF(g.sol + i); got != want {
+			return fmt.Errorf("Gauss: x[%d] = %g, want %g", i, got, want)
+		}
+	}
+	return nil
+}

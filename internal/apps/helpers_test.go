@@ -1,0 +1,6 @@
+package apps
+
+import "cashmere/internal/costs"
+
+// defaultCosts returns the default cost model for tests.
+func defaultCosts() costs.Model { return costs.Default() }

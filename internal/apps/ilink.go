@@ -1,0 +1,203 @@
+package apps
+
+import (
+	"fmt"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// Ilink models the FASTLINK genetic linkage analysis program of paper
+// Section 3.2 (Dwarkadas et al., Human Heredity 1994). The real program
+// traverses pedigree data updating a pool of sparse arrays of genotype
+// probabilities; we reproduce its computational and communication
+// structure: a master-slave computation in which the master updates the
+// shared pool (one-to-all), slaves update the non-zero elements assigned
+// to them round-robin, and the master combines the results (all-to-one),
+// with barriers between phases, an inherent serial component, and
+// inherent load imbalance (the amount of work per non-zero varies).
+//
+// The substitution preserves what the evaluation measures: Ilink's
+// behaviour is dominated by its one-to-all/all-to-one sharing and
+// master-side serial fraction, both of which are reproduced exactly.
+type Ilink struct {
+	Slots int // genotype pool size
+	Iters int // pedigree traversals
+
+	pool int // shared probability pool
+	out  int // per-iteration combined result (master-written)
+
+	seq   []float64
+	seqNS int64
+}
+
+// DefaultIlink returns the scaled-down default instance.
+func DefaultIlink() *Ilink { return &Ilink{Slots: 16 * PageWords, Iters: 10} }
+
+// SmallIlink returns a tiny instance for tests.
+func SmallIlink() *Ilink { return &Ilink{Slots: 200, Iters: 3} }
+
+// Name returns "Ilink".
+func (il *Ilink) Name() string { return "Ilink" }
+
+// DataSet describes the pool.
+func (il *Ilink) DataSet() string {
+	return fmt.Sprintf("%d-slot genotype pool (%.1f MB), %d traversals",
+		il.Slots, float64(il.Slots*8)/(1<<20), il.Iters)
+}
+
+// Shape returns the resources Ilink needs.
+func (il *Ilink) Shape() Shape {
+	l := NewLayout(PageWords)
+	il.pool = l.Array(il.Slots)
+	il.out = l.Array(il.Iters)
+	return Shape{SharedWords: l.Words()}
+}
+
+const ilinkOpNS = 60000
+const ilinkTraffic = 12
+
+// nonzero reports whether slot s holds a non-zero genotype probability
+// (the pool is sparse; roughly 60% of slots participate).
+func (il *Ilink) nonzero(s int) bool { return (s*7+3)%5 != 0 }
+
+// workUnits models the varying per-element work (the source of load
+// imbalance).
+func (il *Ilink) workUnits(s int) int { return 1 + (s*13)%7 }
+
+func (il *Ilink) initVal(s int) float64 {
+	if !il.nonzero(s) {
+		return 0
+	}
+	return 1.0 / float64(2+s%31)
+}
+
+// update is the per-element genotype probability update.
+func (il *Ilink) update(v float64, it int) float64 {
+	return v * (1.0 - v/float64(4+it))
+}
+
+// Body runs the parallel master-slave computation.
+func (il *Ilink) Body(p *core.Proc) {
+	p.BeginInit()
+	if p.ID() == 0 {
+		for s := 0; s < il.Slots; s++ {
+			p.StoreF(il.pool+s, il.initVal(s))
+		}
+	}
+	p.EndInit()
+
+	np, me := p.NProcs(), p.ID()
+	p.Warmup(func() {
+		k := 0
+		for s := 0; s < il.Slots; s++ {
+			if !il.nonzero(s) {
+				continue
+			}
+			if k%np == me {
+				p.StoreF(il.pool+s, p.LoadF(il.pool+s))
+			}
+			k++
+		}
+	})
+	for it := 0; it < il.Iters; it++ {
+		// One-to-all: the master reseeds a slice of the pool (the new
+		// pedigree evidence), serially.
+		if me == 0 {
+			for s := 0; s < il.Slots; s += 16 {
+				v := p.LoadF(il.pool + s)
+				p.StoreF(il.pool+s, v+1.0/float64(16+it))
+			}
+			p.Compute(int64(il.Slots/16)*ilinkOpNS/8, int64(il.Slots/16)*ilinkTraffic)
+		}
+		p.Barrier()
+		// Slaves update their round-robin share of the non-zeros.
+		k := 0
+		for s := 0; s < il.Slots; s++ {
+			if !il.nonzero(s) {
+				continue
+			}
+			if k%np == me {
+				w := il.workUnits(s)
+				v := p.LoadF(il.pool + s)
+				for u := 0; u < w; u++ {
+					v = il.update(v, it)
+				}
+				p.StoreF(il.pool+s, v)
+				p.Compute(int64(w)*ilinkOpNS, ilinkTraffic)
+				p.Poll()
+			}
+			k++
+		}
+		p.Barrier()
+		// All-to-one: the master combines.
+		if me == 0 {
+			sum := 0.0
+			for s := 0; s < il.Slots; s++ {
+				sum += p.LoadF(il.pool + s)
+			}
+			p.StoreF(il.out+it, sum)
+			p.Compute(int64(il.Slots)*ilinkOpNS/64, int64(il.Slots)*ilinkTraffic)
+		}
+		p.Barrier()
+	}
+}
+
+// runSeq computes the sequential reference.
+func (il *Ilink) runSeq(m costs.Model) {
+	if il.seq != nil {
+		return
+	}
+	il.Shape()
+	pool := make([]float64, il.Slots)
+	for s := range pool {
+		pool[s] = il.initVal(s)
+	}
+	out := make([]float64, il.Iters)
+	clk := NewSeqClock(m)
+	for it := 0; it < il.Iters; it++ {
+		for s := 0; s < il.Slots; s += 16 {
+			pool[s] += 1.0 / float64(16+it)
+		}
+		clk.Compute(int64(il.Slots/16)*ilinkOpNS/8, int64(il.Slots/16)*ilinkTraffic)
+		for s := 0; s < il.Slots; s++ {
+			if !il.nonzero(s) {
+				continue
+			}
+			w := il.workUnits(s)
+			v := pool[s]
+			for u := 0; u < w; u++ {
+				v = il.update(v, it)
+			}
+			pool[s] = v
+			clk.Compute(int64(w)*ilinkOpNS, ilinkTraffic)
+		}
+		sum := 0.0
+		for s := range pool {
+			sum += pool[s]
+		}
+		out[it] = sum
+		clk.Compute(int64(il.Slots)*ilinkOpNS/64, int64(il.Slots)*ilinkTraffic)
+	}
+	il.seq = out
+	il.seqNS = clk.NS()
+}
+
+// SeqTime returns the sequential execution time.
+func (il *Ilink) SeqTime(m costs.Model) int64 {
+	il.runSeq(m)
+	return il.seqNS
+}
+
+// Verify compares the per-iteration combined results; every slot has a
+// single writer per phase and the master's summation order is fixed, so
+// the comparison is exact.
+func (il *Ilink) Verify(c *core.Cluster) error {
+	il.runSeq(*c.Config().Model)
+	for it, want := range il.seq {
+		if got := c.ReadSharedF(il.out + it); got != want {
+			return fmt.Errorf("Ilink: result[%d] = %g, want %g", it, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,359 @@
+package apps
+
+import (
+	"fmt"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// LU is the blocked dense LU factorization kernel from SPLASH-2 (paper
+// Section 3.2): A = L*U without pivoting. The matrix is divided into
+// B x B blocks for temporal and spatial locality; each block is owned
+// by one processor (2D scatter), which performs all computation on it.
+// Barriers separate the diagonal, perimeter, and interior phases of
+// each step. Block ownership makes LU's page accesses bursty: a pivot
+// block sits in exclusive mode while being factored, then is suddenly
+// demanded by every perimeter owner — the behaviour behind LU's
+// negative clustering effect under the one-level protocols (Section
+// 3.3.3).
+type LU struct {
+	N, B int // matrix dimension and block size
+
+	mat int // base address, block-major: block (I,J) contiguous
+
+	seq   []float64
+	seqNS int64
+}
+
+// DefaultLU returns the scaled-down default instance; with B = 32 each
+// block is exactly one 8 Kbyte page.
+func DefaultLU() *LU { return &LU{N: 384, B: 32} }
+
+// SmallLU returns a tiny instance for tests.
+func SmallLU() *LU { return &LU{N: 32, B: 8} }
+
+// Name returns "LU".
+func (l *LU) Name() string { return "LU" }
+
+// DataSet describes the matrix.
+func (l *LU) DataSet() string {
+	return fmt.Sprintf("%dx%d matrix (%.1f MB), %dx%d blocks",
+		l.N, l.N, float64(l.N*l.N*8)/(1<<20), l.B, l.B)
+}
+
+// Shape returns the resources LU needs.
+func (l *LU) Shape() Shape {
+	lay := NewLayout(PageWords)
+	l.mat = lay.Array(l.N * l.N)
+	return Shape{SharedWords: lay.Words()}
+}
+
+// Per-element costs on the 21064A: one fused multiply-subtract chain.
+const luFlopNS = 1200
+const luTraffic = 80
+
+func (l *LU) nb() int { return l.N / l.B }
+
+// blockBase returns the address of block (I,J), stored block-major.
+func (l *LU) blockBase(I, J int) int {
+	return l.mat + (I*l.nb()+J)*l.B*l.B
+}
+
+// owner implements the SPLASH-2 2D scatter: block (I,J) belongs to
+// processor (I mod pr)*pc + (J mod pc).
+func luGrid(nprocs int) (pr, pc int) {
+	pr = 1
+	for (pr*2)*(pr*2) <= nprocs && nprocs%(pr*2) == 0 {
+		pr *= 2
+	}
+	return pr, nprocs / pr
+}
+
+func (l *LU) owner(I, J, nprocs int) int {
+	pr, pc := luGrid(nprocs)
+	return (I%pr)*pc + (J % pc)
+}
+
+func (l *LU) initVal(i, j int) float64 {
+	v := 1.0 / float64(i+j+1)
+	if i == j {
+		v += float64(l.N)
+	}
+	return v
+}
+
+// Body runs the parallel blocked LU factorization.
+func (l *LU) Body(p *core.Proc) {
+	n, nb := l.N, l.nb()
+	p.BeginInit()
+	if p.ID() == 0 {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				l.store(p.StoreF, i, j, l.initVal(i, j))
+			}
+		}
+	}
+	p.EndInit()
+
+	np := p.NProcs()
+	me := p.ID()
+	p.Warmup(func() {
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				if l.owner(i, j, np) == me {
+					a := l.blockBase(i, j)
+					p.StoreF(a, p.LoadF(a))
+				}
+			}
+		}
+	})
+	for k := 0; k < nb; k++ {
+		// Factor the diagonal block.
+		if l.owner(k, k, np) == me {
+			l.factorDiag(p, k)
+		}
+		p.Barrier()
+		// Perimeter blocks in pivot row and column.
+		for j := k + 1; j < nb; j++ {
+			if l.owner(k, j, np) == me {
+				l.solveRow(p, k, j)
+			}
+			if l.owner(j, k, np) == me {
+				l.solveCol(p, j, k)
+			}
+		}
+		p.Barrier()
+		// Interior update.
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				if l.owner(i, j, np) == me {
+					l.updateInterior(p, i, j, k)
+				}
+			}
+		}
+		p.Barrier()
+	}
+}
+
+// Element accessors translating (i,j) to the block-major address.
+func (l *LU) addr(i, j int) int {
+	I, J := i/l.B, j/l.B
+	return l.blockBase(I, J) + (i%l.B)*l.B + (j % l.B)
+}
+
+func (l *LU) store(st func(int, float64), i, j int, v float64) { st(l.addr(i, j), v) }
+
+// factorDiag performs an unblocked LU factorization of diagonal block k.
+func (l *LU) factorDiag(p *core.Proc, k int) {
+	b := l.B
+	base := k * b
+	ops := 0
+	for kk := 0; kk < b; kk++ {
+		piv := p.LoadF(l.addr(base+kk, base+kk))
+		for i := kk + 1; i < b; i++ {
+			m := p.LoadF(l.addr(base+i, base+kk)) / piv
+			p.StoreF(l.addr(base+i, base+kk), m)
+			for j := kk + 1; j < b; j++ {
+				v := p.LoadF(l.addr(base+i, base+j)) - m*p.LoadF(l.addr(base+kk, base+j))
+				p.StoreF(l.addr(base+i, base+j), v)
+				ops++
+			}
+		}
+		p.Poll()
+	}
+	p.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+// solveRow computes U_kj = L_kk^{-1} A_kj for perimeter block (k,j).
+func (l *LU) solveRow(p *core.Proc, k, j int) {
+	b := l.B
+	rbase, cbase := k*b, j*b
+	ops := 0
+	for kk := 0; kk < b; kk++ {
+		for i := kk + 1; i < b; i++ {
+			m := p.LoadF(l.addr(k*b+i, k*b+kk))
+			for c := 0; c < b; c++ {
+				v := p.LoadF(l.addr(rbase+i, cbase+c)) - m*p.LoadF(l.addr(rbase+kk, cbase+c))
+				p.StoreF(l.addr(rbase+i, cbase+c), v)
+				ops++
+			}
+		}
+		p.Poll()
+	}
+	p.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+// solveCol computes L_jk = A_jk U_kk^{-1} for perimeter block (j,k).
+func (l *LU) solveCol(p *core.Proc, j, k int) {
+	b := l.B
+	rbase, cbase := j*b, k*b
+	ops := 0
+	for kk := 0; kk < b; kk++ {
+		piv := p.LoadF(l.addr(k*b+kk, k*b+kk))
+		for i := 0; i < b; i++ {
+			m := p.LoadF(l.addr(rbase+i, cbase+kk)) / piv
+			p.StoreF(l.addr(rbase+i, cbase+kk), m)
+			for c := kk + 1; c < b; c++ {
+				v := p.LoadF(l.addr(rbase+i, cbase+c)) - m*p.LoadF(l.addr(k*b+kk, k*b+c))
+				p.StoreF(l.addr(rbase+i, cbase+c), v)
+				ops++
+			}
+		}
+		p.Poll()
+	}
+	p.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+// updateInterior applies A_ij -= L_ik * U_kj.
+func (l *LU) updateInterior(p *core.Proc, i, j, k int) {
+	b := l.B
+	ops := 0
+	for r := 0; r < b; r++ {
+		for kk := 0; kk < b; kk++ {
+			m := p.LoadF(l.addr(i*b+r, k*b+kk))
+			if m == 0 {
+				continue
+			}
+			for c := 0; c < b; c++ {
+				v := p.LoadF(l.addr(i*b+r, j*b+c)) - m*p.LoadF(l.addr(k*b+kk, j*b+c))
+				p.StoreF(l.addr(i*b+r, j*b+c), v)
+				ops++
+			}
+		}
+		p.Poll()
+	}
+	p.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+// runSeq computes the sequential reference (identical blocked
+// algorithm, identical floating-point operation order).
+func (l *LU) runSeq(m costs.Model) {
+	if l.seq != nil {
+		return
+	}
+	l.Shape()
+	a := make([]float64, l.N*l.N)
+	ld := func(addr int) float64 { return a[addr-l.mat] }
+	st := func(addr int, v float64) { a[addr-l.mat] = v }
+	clk := NewSeqClock(m)
+	sp := &seqProcLU{lu: l, ld: ld, st: st, clk: clk}
+
+	for i := 0; i < l.N; i++ {
+		for j := 0; j < l.N; j++ {
+			st(l.addr(i, j), l.initVal(i, j))
+		}
+	}
+	nb := l.nb()
+	for k := 0; k < nb; k++ {
+		sp.factorDiag(k)
+		for j := k + 1; j < nb; j++ {
+			sp.solveRow(k, j)
+			sp.solveCol(j, k)
+		}
+		for i := k + 1; i < nb; i++ {
+			for j := k + 1; j < nb; j++ {
+				sp.updateInterior(i, j, k)
+			}
+		}
+	}
+	l.seq = a
+	l.seqNS = clk.NS()
+}
+
+// seqProcLU mirrors the parallel kernels on plain memory.
+type seqProcLU struct {
+	lu  *LU
+	ld  func(int) float64
+	st  func(int, float64)
+	clk *SeqClock
+}
+
+func (s *seqProcLU) factorDiag(k int) {
+	l, b := s.lu, s.lu.B
+	base := k * b
+	ops := 0
+	for kk := 0; kk < b; kk++ {
+		piv := s.ld(l.addr(base+kk, base+kk))
+		for i := kk + 1; i < b; i++ {
+			m := s.ld(l.addr(base+i, base+kk)) / piv
+			s.st(l.addr(base+i, base+kk), m)
+			for j := kk + 1; j < b; j++ {
+				s.st(l.addr(base+i, base+j), s.ld(l.addr(base+i, base+j))-m*s.ld(l.addr(base+kk, base+j)))
+				ops++
+			}
+		}
+	}
+	s.clk.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+func (s *seqProcLU) solveRow(k, j int) {
+	l, b := s.lu, s.lu.B
+	rbase, cbase := k*b, j*b
+	ops := 0
+	for kk := 0; kk < b; kk++ {
+		for i := kk + 1; i < b; i++ {
+			m := s.ld(l.addr(k*b+i, k*b+kk))
+			for c := 0; c < b; c++ {
+				s.st(l.addr(rbase+i, cbase+c), s.ld(l.addr(rbase+i, cbase+c))-m*s.ld(l.addr(rbase+kk, cbase+c)))
+				ops++
+			}
+		}
+	}
+	s.clk.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+func (s *seqProcLU) solveCol(j, k int) {
+	l, b := s.lu, s.lu.B
+	rbase, cbase := j*b, k*b
+	ops := 0
+	for kk := 0; kk < b; kk++ {
+		piv := s.ld(l.addr(k*b+kk, k*b+kk))
+		for i := 0; i < b; i++ {
+			m := s.ld(l.addr(rbase+i, cbase+kk)) / piv
+			s.st(l.addr(rbase+i, cbase+kk), m)
+			for c := kk + 1; c < b; c++ {
+				s.st(l.addr(rbase+i, cbase+c), s.ld(l.addr(rbase+i, cbase+c))-m*s.ld(l.addr(k*b+kk, k*b+c)))
+				ops++
+			}
+		}
+	}
+	s.clk.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+func (s *seqProcLU) updateInterior(i, j, k int) {
+	l, b := s.lu, s.lu.B
+	ops := 0
+	for r := 0; r < b; r++ {
+		for kk := 0; kk < b; kk++ {
+			m := s.ld(l.addr(i*b+r, k*b+kk))
+			if m == 0 {
+				continue
+			}
+			for c := 0; c < b; c++ {
+				s.st(l.addr(i*b+r, j*b+c), s.ld(l.addr(i*b+r, j*b+c))-m*s.ld(l.addr(k*b+kk, j*b+c)))
+				ops++
+			}
+		}
+	}
+	s.clk.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
+}
+
+// SeqTime returns the sequential execution time.
+func (l *LU) SeqTime(m costs.Model) int64 {
+	l.runSeq(m)
+	return l.seqNS
+}
+
+// Verify compares the parallel factorization against the reference.
+// Every element is written by exactly one owner in a fixed order, so
+// the comparison is exact.
+func (l *LU) Verify(c *core.Cluster) error {
+	l.runSeq(*c.Config().Model)
+	for i, want := range l.seq {
+		if got := c.ReadSharedF(l.mat + i); got != want {
+			return fmt.Errorf("LU: element %d = %g, want %g", i, got, want)
+		}
+	}
+	return nil
+}

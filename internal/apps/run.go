@@ -1,0 +1,47 @@
+package apps
+
+import (
+	"fmt"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// Run executes app on a fresh cluster built from cfg (whose SharedWords,
+// Locks, Flags, and PageWords are filled in from the application's
+// shape), verifies the result against the sequential reference, and
+// returns the run's statistics.
+func Run(app App, cfg core.Config) (core.Result, error) {
+	shape := app.Shape()
+	cfg.SharedWords = shape.SharedWords
+	if cfg.SharedWords == 0 {
+		cfg.SharedWords = 1
+	}
+	cfg.Locks = shape.Locks
+	cfg.Flags = shape.Flags
+	if cfg.PageWords == 0 {
+		cfg.PageWords = PageWords
+	}
+	c, err := core.New(cfg)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("apps: building cluster for %s: %w", app.Name(), err)
+	}
+	res := c.Run(app.Body)
+	if err := app.Verify(c); err != nil {
+		return res, fmt.Errorf("apps: %s failed verification under %v: %w", app.Name(), cfg.Protocol, err)
+	}
+	return res, nil
+}
+
+// Speedup returns the application's speedup for a run: sequential time
+// over parallel virtual execution time.
+func Speedup(app App, cfg core.Config, res core.Result) float64 {
+	m := costs.Default()
+	if cfg.Model != nil {
+		m = *cfg.Model
+	}
+	if res.ExecNS <= 0 {
+		return 0
+	}
+	return float64(app.SeqTime(m)) / float64(res.ExecNS)
+}

@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"fmt"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// SOR is Red-Black Successive Over-Relaxation for partial differential
+// equations (paper Section 3.2). The red and black halves of the grid
+// are updated in alternating phases separated by barriers; the grid is
+// divided into bands of rows, one band per processor, so communication
+// happens only across band boundaries. A high computation-to-
+// communication ratio makes SOR scale well under every protocol.
+type SOR struct {
+	Rows, Cols, Iters int
+
+	grid int // base address of the Rows x Cols float64 grid
+
+	seq   []float64
+	seqNS int64
+}
+
+// DefaultSOR returns the scaled-down default instance. Rows are padded
+// to whole pages (Cols == PageWords) so bands are page-aligned, exactly
+// as the paper's first-touch placement wants.
+func DefaultSOR() *SOR { return &SOR{Rows: 514, Cols: PageWords, Iters: 8} }
+
+// SmallSOR returns a tiny instance for tests.
+func SmallSOR() *SOR { return &SOR{Rows: 12, Cols: 64, Iters: 3} }
+
+// Name returns "SOR".
+func (s *SOR) Name() string { return "SOR" }
+
+// DataSet describes the grid.
+func (s *SOR) DataSet() string {
+	return fmt.Sprintf("%dx%d grid (%.1f MB), %d iters",
+		s.Rows, s.Cols, float64(s.Rows*s.Cols*8)/(1<<20), s.Iters)
+}
+
+// Shape returns the resources SOR needs.
+func (s *SOR) Shape() Shape {
+	l := NewLayout(PageWords)
+	s.grid = l.Array(s.Rows * s.Cols)
+	return Shape{SharedWords: l.Words()}
+}
+
+// Per-point update cost: four loads, one multiply-add chain on the
+// 233 MHz 21064A (~5 flops plus addressing).
+const sorPointNS = 16000
+
+// sorTraffic is the capacity-miss traffic per updated point: the grid
+// greatly exceeds the 1 MB board cache, so roughly one 64-byte line per
+// three point loads streams from memory.
+const sorTraffic = 2400
+
+func (s *SOR) init(store func(addr int, v float64)) {
+	for r := 0; r < s.Rows; r++ {
+		for c := 0; c < s.Cols; c++ {
+			v := 0.0
+			if r == 0 || r == s.Rows-1 || c == 0 || c == s.Cols-1 {
+				v = 1.0 // fixed boundary
+			}
+			store(s.grid+r*s.Cols+c, v)
+		}
+	}
+}
+
+// Body runs the parallel SOR program.
+func (s *SOR) Body(p *core.Proc) {
+	p.BeginInit()
+	if p.ID() == 0 {
+		s.init(p.StoreF)
+	}
+	p.EndInit()
+
+	lo, hi := chunk(s.Rows-2, p.ID(), p.NProcs())
+	lo++ // interior rows 1..Rows-2
+	hi++
+	at := func(r, c int) int { return s.grid + r*s.Cols + c }
+
+	p.Warmup(func() {
+		for r := lo; r < hi; r++ {
+			p.StoreF(at(r, 1), p.LoadF(at(r, 1)))
+		}
+		p.LoadF(at(lo-1, 1))
+		p.LoadF(at(hi, 1))
+	})
+
+	for it := 0; it < s.Iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			for r := lo; r < hi; r++ {
+				updated := 0
+				for c := 1 + (r+phase)%2; c < s.Cols-1; c += 2 {
+					v := 0.25 * (p.LoadF(at(r-1, c)) + p.LoadF(at(r+1, c)) +
+						p.LoadF(at(r, c-1)) + p.LoadF(at(r, c+1)))
+					p.StoreF(at(r, c), v)
+					updated++
+				}
+				p.PollN(int64(updated))
+				p.Compute(int64(updated)*sorPointNS, int64(updated)*sorTraffic)
+			}
+			p.Barrier()
+		}
+	}
+}
+
+// runSeq computes the sequential reference once.
+func (s *SOR) runSeq(m costs.Model) {
+	if s.seq != nil {
+		return
+	}
+	s.Shape()
+	g := make([]float64, s.Rows*s.Cols)
+	s.init(func(addr int, v float64) { g[addr-s.grid] = v })
+	clk := NewSeqClock(m)
+	for it := 0; it < s.Iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			for r := 1; r < s.Rows-1; r++ {
+				updated := 0
+				for c := 1 + (r+phase)%2; c < s.Cols-1; c += 2 {
+					g[r*s.Cols+c] = 0.25 * (g[(r-1)*s.Cols+c] + g[(r+1)*s.Cols+c] +
+						g[r*s.Cols+c-1] + g[r*s.Cols+c+1])
+					updated++
+				}
+				clk.Compute(int64(updated)*sorPointNS, int64(updated)*sorTraffic)
+			}
+		}
+	}
+	s.seq = g
+	s.seqNS = clk.NS()
+}
+
+// SeqTime returns the sequential execution time.
+func (s *SOR) SeqTime(m costs.Model) int64 {
+	s.runSeq(m)
+	return s.seqNS
+}
+
+// Verify compares the parallel grid against the reference. SOR is
+// barrier-synchronized and each point has a unique writer per phase, so
+// the comparison is exact.
+func (s *SOR) Verify(c *core.Cluster) error {
+	s.runSeq(*c.Config().Model)
+	for i, want := range s.seq {
+		if got := c.ReadSharedF(s.grid + i); got != want {
+			return fmt.Errorf("SOR: grid[%d] = %g, want %g", i, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// TSP is a branch-and-bound solution to the travelling salesman problem
+// (paper Section 3.2). Partial tours sit in a shared queue protected by
+// one lock; the current shortest tour is protected by a second lock.
+// The algorithm is non-deterministic: the earlier some processor
+// stumbles on the shortest path, the faster the rest of the search
+// space is pruned — which is why the paper's TSP user times vary.
+// Reads of the global bound during pruning are deliberately
+// unsynchronized (a stale bound only weakens pruning, never
+// correctness), matching branch-and-bound practice.
+type TSP struct {
+	Cities int
+	Depth  int // prefix depth enumerated into the shared queue
+
+	dist  int // Cities x Cities distance matrix (int64)
+	tasks int // task records: Depth cities each
+	qhead int // next unclaimed task index
+	ntask int // number of tasks
+	best  int // current shortest tour length
+	path  int // the best tour found (Cities entries)
+
+	seqBest int64
+	seqNS   int64
+}
+
+// DefaultTSP returns the scaled-down default instance.
+func DefaultTSP() *TSP { return &TSP{Cities: 11, Depth: 4} }
+
+// SmallTSP returns a tiny instance for tests.
+func SmallTSP() *TSP { return &TSP{Cities: 8, Depth: 2} }
+
+// Name returns "TSP".
+func (t *TSP) Name() string { return "TSP" }
+
+// DataSet describes the instance.
+func (t *TSP) DataSet() string {
+	return fmt.Sprintf("%d cities, branch-and-bound (queue depth %d)", t.Cities, t.Depth)
+}
+
+// distVal is the deterministic pseudo-random distance between cities.
+func (t *TSP) distVal(i, j int) int64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	h := uint64(i*31+j*17+37) * 2654435761
+	return int64(h%97) + 3
+}
+
+// greedyBound returns the cost of the nearest-neighbour tour — the
+// initial upper bound both searches start from (branch-and-bound codes
+// seed the bound with a heuristic tour so pruning bites immediately).
+func (t *TSP) greedyBound() int64 {
+	visited := make([]bool, t.Cities)
+	visited[0] = true
+	cur, cost := 0, int64(0)
+	for n := 1; n < t.Cities; n++ {
+		best, bestD := -1, int64(1<<40)
+		for c := 1; c < t.Cities; c++ {
+			if !visited[c] {
+				if d := t.distVal(cur, c); d < bestD {
+					best, bestD = c, d
+				}
+			}
+		}
+		visited[best] = true
+		cost += bestD
+		cur = best
+	}
+	return cost + t.distVal(cur, 0)
+}
+
+// numTasks counts the depth-limited prefixes starting at city 0.
+func (t *TSP) numTasks() int {
+	n := 1
+	for d := 0; d < t.Depth; d++ {
+		n *= t.Cities - 1 - d
+	}
+	return n
+}
+
+// prefixCost returns the path cost of a task prefix.
+func (t *TSP) prefixCost(prefix []int) int64 {
+	cost := int64(0)
+	for i := 1; i < len(prefix); i++ {
+		cost += t.distVal(prefix[i-1], prefix[i])
+	}
+	return cost
+}
+
+// sortedTasks returns task indices ordered by ascending prefix cost —
+// the static analogue of the paper's priority queue of unsolved tours:
+// promising prefixes are explored first, so the global bound tightens
+// before the expensive subtrees are reached.
+func (t *TSP) sortedTasks() []int {
+	type kc struct {
+		k int
+		c int64
+	}
+	all := make([]kc, t.ntask)
+	var buf []int
+	for k := range all {
+		buf = t.taskPrefix(k, buf)
+		all[k] = kc{k, t.prefixCost(buf)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c < all[j].c
+		}
+		return all[i].k < all[j].k
+	})
+	out := make([]int, t.ntask)
+	for i, e := range all {
+		out[i] = e.k
+	}
+	return out
+}
+
+// taskPrefix decodes task index k into a tour prefix (starting at city
+// 0) using the factorial number system over the remaining cities.
+func (t *TSP) taskPrefix(k int, out []int) []int {
+	remaining := make([]int, 0, t.Cities-1)
+	for c := 1; c < t.Cities; c++ {
+		remaining = append(remaining, c)
+	}
+	out = append(out[:0], 0)
+	radix := t.Cities - 1
+	for d := 0; d < t.Depth; d++ {
+		idx := k % radix
+		k /= radix
+		out = append(out, remaining[idx])
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+		radix--
+	}
+	return out
+}
+
+// Shape returns the resources TSP needs.
+func (t *TSP) Shape() Shape {
+	t.ntask = t.numTasks()
+	l := NewLayout(PageWords)
+	t.dist = l.Array(t.Cities * t.Cities)
+	t.tasks = l.Array(t.ntask * (t.Depth + 1))
+	t.qhead = l.Array(1)
+	t.best = l.Array(1)
+	t.path = l.Array(t.Cities)
+	return Shape{SharedWords: l.Words(), Locks: 2}
+}
+
+const (
+	tspQueueLock = 0
+	tspBestLock  = 1
+	tspNodeNS    = 50000
+)
+
+const tspInf = int64(1) << 40
+
+// Body runs the parallel branch-and-bound search.
+func (t *TSP) Body(p *core.Proc) {
+	p.BeginInit()
+	if p.ID() == 0 {
+		for i := 0; i < t.Cities; i++ {
+			for j := 0; j < t.Cities; j++ {
+				p.Store(t.dist+i*t.Cities+j, t.distVal(i, j))
+			}
+		}
+		var buf []int
+		for k := 0; k < t.ntask; k++ {
+			buf = t.taskPrefix(k, buf)
+			for d, c := range buf {
+				p.Store(t.tasks+k*(t.Depth+1)+d, int64(c))
+			}
+		}
+		p.Store(t.qhead, 0)
+		p.Store(t.best, t.greedyBound())
+	}
+	p.EndInit()
+
+	p.Warmup(func() {
+		for a := t.dist; a < t.dist+t.Cities*t.Cities; a += PageWords / 2 {
+			p.Load(a)
+		}
+		for a := t.tasks; a < t.tasks+t.ntask*(t.Depth+1); a += PageWords / 2 {
+			p.Load(a)
+		}
+	})
+
+	// Unsolved tours are dealt out in an interleaved round-robin: with
+	// hundreds of prefixes per processor the load balances as well as
+	// the original's central queue, whose fine-grained host-time racing
+	// a virtual-time simulation cannot arbitrate fairly (the queue lock
+	// itself is still exercised for every bound improvement). Each
+	// round-robin step acquires the queue lock to publish progress, as
+	// the original does when deleting a tour.
+	s := &tspSearch{t: t, p: p}
+	np, me := p.NProcs(), p.ID()
+	for k := me; k < t.ntask; k += np {
+		s.runTask(k)
+	}
+	p.Barrier()
+}
+
+// tspSearch is the per-processor DFS state. bestSeen caches the
+// tightest bound this processor has observed; pruning and the decision
+// to take the bound lock use it, so the lock is only acquired for
+// genuine improvements (stale shared reads would otherwise drag every
+// near-optimal leaf through the lock).
+type tspSearch struct {
+	t        *TSP
+	p        *core.Proc
+	visited  [64]bool
+	tour     [64]int
+	nodes    int64
+	bestSeen int64
+}
+
+func (s *tspSearch) runTask(k int) {
+	t, p := s.t, s.p
+	if v := p.Load(t.best); s.bestSeen == 0 || v < s.bestSeen {
+		s.bestSeen = v
+	}
+	for i := range s.visited[:t.Cities] {
+		s.visited[i] = false
+	}
+	cost := int64(0)
+	for d := 0; d <= t.Depth; d++ {
+		c := int(p.Load(t.tasks + k*(t.Depth+1) + d))
+		s.tour[d] = c
+		s.visited[c] = true
+		if d > 0 {
+			cost += p.Load(t.dist + s.tour[d-1]*t.Cities + c)
+		}
+	}
+	s.nodes = 0
+	s.dfs(t.Depth, cost)
+	p.Compute(s.nodes*tspNodeNS, 0)
+	p.PollN(s.nodes)
+}
+
+func (s *tspSearch) dfs(depth int, cost int64) {
+	t, p := s.t, s.p
+	s.nodes++
+	if cost >= s.bestSeen {
+		return
+	}
+	if depth == t.Cities-1 {
+		total := cost + p.Load(t.dist+s.tour[depth]*t.Cities+0)
+		if total >= s.bestSeen {
+			return
+		}
+		s.bestSeen = total
+		p.Lock(tspBestLock)
+		if v := p.Load(t.best); total < v {
+			p.Store(t.best, total)
+			for i := 0; i < t.Cities; i++ {
+				p.Store(t.path+i, int64(s.tour[i]))
+			}
+		} else if v < s.bestSeen {
+			s.bestSeen = v
+		}
+		p.Unlock(tspBestLock)
+		return
+	}
+	last := s.tour[depth]
+	for c := 1; c < t.Cities; c++ {
+		if s.visited[c] {
+			continue
+		}
+		s.visited[c] = true
+		s.tour[depth+1] = c
+		s.dfs(depth+1, cost+p.Load(t.dist+last*t.Cities+c))
+		s.visited[c] = false
+	}
+}
+
+// runSeq solves the instance sequentially with the same DFS.
+func (t *TSP) runSeq(m costs.Model) {
+	if t.seqBest != 0 {
+		return
+	}
+	t.Shape()
+	clk := NewSeqClock(m)
+	var visited [64]bool
+	var tour [64]int
+	best := t.greedyBound()
+	nodes := int64(0)
+	var dfs func(depth int, cost int64)
+	dfs = func(depth int, cost int64) {
+		nodes++
+		if cost >= best {
+			return
+		}
+		if depth == t.Cities-1 {
+			total := cost + t.distVal(tour[depth], 0)
+			if total < best {
+				best = total
+			}
+			return
+		}
+		last := tour[depth]
+		for c := 1; c < t.Cities; c++ {
+			if visited[c] {
+				continue
+			}
+			visited[c] = true
+			tour[depth+1] = c
+			dfs(depth+1, cost+t.distVal(last, c))
+			visited[c] = false
+		}
+	}
+	// The same task order the parallel search uses.
+	var buf []int
+	for k := 0; k < t.ntask; k++ {
+		buf = t.taskPrefix(k, buf)
+		for i := range visited[:t.Cities] {
+			visited[i] = false
+		}
+		for d, c := range buf {
+			tour[d] = c
+			visited[c] = true
+		}
+		dfs(t.Depth, t.prefixCost(buf))
+	}
+	clk.Compute(nodes*tspNodeNS, 0)
+	t.seqBest = best
+	t.seqNS = clk.NS()
+}
+
+// SeqTime returns the sequential execution time.
+func (t *TSP) SeqTime(m costs.Model) int64 {
+	t.runSeq(m)
+	return t.seqNS
+}
+
+// Verify checks that the parallel search found the optimal tour length
+// and that the recorded tour is a valid permutation achieving it.
+func (t *TSP) Verify(c *core.Cluster) error {
+	t.runSeq(*c.Config().Model)
+	got := c.ReadShared(t.best)
+	if got != t.seqBest {
+		return fmt.Errorf("TSP: best = %d, want %d", got, t.seqBest)
+	}
+	if c.ReadShared(t.path+1) == 0 {
+		// No tour improved on the initial bound, so no path was
+		// recorded; the optimum must equal the greedy tour's cost.
+		if t.seqBest != t.greedyBound() {
+			return fmt.Errorf("TSP: no tour recorded but greedy bound %d != optimal %d",
+				t.greedyBound(), t.seqBest)
+		}
+		return nil
+	}
+	seen := make([]bool, t.Cities)
+	prev := int(c.ReadShared(t.path))
+	if prev != 0 {
+		return fmt.Errorf("TSP: tour does not start at city 0")
+	}
+	seen[0] = true
+	cost := int64(0)
+	for i := 1; i < t.Cities; i++ {
+		city := int(c.ReadShared(t.path + i))
+		if city < 0 || city >= t.Cities || seen[city] {
+			return fmt.Errorf("TSP: invalid tour city %d at position %d", city, i)
+		}
+		seen[city] = true
+		cost += t.distVal(prev, city)
+		prev = city
+	}
+	cost += t.distVal(prev, 0)
+	if cost != t.seqBest {
+		return fmt.Errorf("TSP: recorded tour costs %d, want %d", cost, t.seqBest)
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+)
+
+// Water is the molecular dynamics simulation from SPLASH (paper Section
+// 3.2). The shared molecule array is divided into contiguous chunks,
+// one per processor; the bulk of interprocessor communication happens in
+// the inter-molecular force phase, where contributions to other
+// processors' molecules are accumulated under per-stripe locks —
+// producing the migratory sharing pattern the paper calls out. The
+// physics here is a Lennard-Jones-style pair interaction on point
+// molecules (the full SPC water potential adds only local computation),
+// with the original's structure: predict, pairwise forces with locked
+// accumulation, correct.
+type Water struct {
+	N     int // molecules
+	Steps int
+
+	pos, vel, force int // base addresses of 3*N float64 arrays
+
+	seqPos []float64
+	seqNS  int64
+}
+
+// waterStripes is the number of accumulation locks (molecules are
+// striped across them).
+const waterStripes = 16
+
+// DefaultWater returns the scaled-down default instance.
+func DefaultWater() *Water { return &Water{N: 512, Steps: 3} }
+
+// SmallWater returns a tiny instance for tests.
+func SmallWater() *Water { return &Water{N: 48, Steps: 2} }
+
+// Name returns "Water".
+func (w *Water) Name() string { return "Water" }
+
+// DataSet describes the simulation.
+func (w *Water) DataSet() string {
+	return fmt.Sprintf("%d molecules (%.1f MB), %d steps",
+		w.N, float64(9*w.N*8)/(1<<20), w.Steps)
+}
+
+// Shape returns the resources Water needs.
+func (w *Water) Shape() Shape {
+	l := NewLayout(PageWords)
+	w.pos = l.Array(3 * w.N)
+	w.vel = l.Array(3 * w.N)
+	w.force = l.Array(3 * w.N)
+	return Shape{SharedWords: l.Words(), Locks: waterStripes}
+}
+
+const (
+	waterPairNS   = 40000 // pair interaction (scaled to the paper's ratio)
+	waterTraffic  = 24
+	waterDT       = 1e-3
+	waterCutoffSq = 9.0
+)
+
+func (w *Water) initPos(i, d int) float64 {
+	// A jittered lattice in a box of side ~N^(1/3).
+	side := int(math.Cbrt(float64(w.N))) + 1
+	c := [3]int{i % side, (i / side) % side, i / (side * side)}
+	return float64(c[d]) + 0.3*float64((i*7+d*3)%10)/10.0
+}
+
+// pairForce returns the force on molecule i from j along dimension d,
+// given the displacement vector and squared distance.
+func pairForce(dx [3]float64, r2 float64, d int) float64 {
+	if r2 >= waterCutoffSq || r2 == 0 {
+		return 0
+	}
+	inv := 1.0 / (r2*r2*r2 + 0.1) // softened LJ-style kernel
+	return dx[d] * (inv - 0.5*inv*inv)
+}
+
+// Body runs the parallel simulation.
+func (w *Water) Body(p *core.Proc) {
+	n := w.N
+	p.BeginInit()
+	if p.ID() == 0 {
+		for i := 0; i < n; i++ {
+			for d := 0; d < 3; d++ {
+				p.StoreF(w.pos+3*i+d, w.initPos(i, d))
+				p.StoreF(w.vel+3*i+d, 0)
+				p.StoreF(w.force+3*i+d, 0)
+			}
+		}
+	}
+	p.EndInit()
+
+	lo, hi := chunk(n, p.ID(), p.NProcs())
+	acc := make([]float64, 3*n) // private accumulation buffer
+
+	p.Warmup(func() {
+		for i := 0; i < 3*n; i += PageWords / 2 {
+			p.LoadF(w.pos + i)
+		}
+		for i := lo; i < hi; i++ {
+			p.StoreF(w.pos+3*i, p.LoadF(w.pos+3*i))
+			p.StoreF(w.vel+3*i, p.LoadF(w.vel+3*i))
+		}
+	})
+
+	for step := 0; step < w.Steps; step++ {
+		// Predict: advance own molecules by current velocities.
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				p.StoreF(w.pos+3*i+d, p.LoadF(w.pos+3*i+d)+waterDT*p.LoadF(w.vel+3*i+d))
+			}
+		}
+		p.Compute(int64(hi-lo)*60, int64(hi-lo)*waterTraffic)
+		p.Barrier()
+
+		// Zero own force entries.
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				p.StoreF(w.force+3*i+d, 0)
+			}
+		}
+		p.Barrier()
+
+		// Inter-molecular forces, half-shell pairing for load balance
+		// (each molecule interacts with the next n/2 molecules mod n,
+		// as in SPLASH Water).
+		for i := range acc {
+			acc[i] = 0
+		}
+		pairs := 0
+		for i := lo; i < hi; i++ {
+			var pi [3]float64
+			for d := 0; d < 3; d++ {
+				pi[d] = p.LoadF(w.pos + 3*i + d)
+			}
+			for k := 1; k <= n/2; k++ {
+				j := (i + k) % n
+				if 2*k == n && i >= j {
+					continue // count the antipodal pair once
+				}
+				var dx [3]float64
+				r2 := 0.0
+				for d := 0; d < 3; d++ {
+					dx[d] = pi[d] - p.LoadF(w.pos+3*j+d)
+					r2 += dx[d] * dx[d]
+				}
+				for d := 0; d < 3; d++ {
+					f := pairForce(dx, r2, d)
+					acc[3*i+d] += f
+					acc[3*j+d] -= f
+				}
+				pairs++
+			}
+			p.PollN(int64(n / 2))
+		}
+		p.Compute(int64(pairs)*waterPairNS, int64(pairs)*8)
+
+		// Migratory accumulation into the shared force array: one lock
+		// per contiguous molecule stripe, starting at our own stripe to
+		// avoid convoys, skipping stripes we contributed nothing to
+		// (the cutoff keeps interactions local).
+		mine := p.ID() % waterStripes
+		for si := 0; si < waterStripes; si++ {
+			s := (mine + si) % waterStripes
+			slo, shi := chunk(n, s, waterStripes)
+			touched := false
+			for i := 3 * slo; i < 3*shi; i++ {
+				if acc[i] != 0 {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			p.Lock(s)
+			for i := slo; i < shi; i++ {
+				for d := 0; d < 3; d++ {
+					if acc[3*i+d] != 0 {
+						p.StoreF(w.force+3*i+d, p.LoadF(w.force+3*i+d)+acc[3*i+d])
+					}
+				}
+			}
+			p.Unlock(s)
+		}
+		p.Barrier()
+
+		// Correct: integrate forces into velocities and positions.
+		for i := lo; i < hi; i++ {
+			for d := 0; d < 3; d++ {
+				v := p.LoadF(w.vel+3*i+d) + waterDT*p.LoadF(w.force+3*i+d)
+				p.StoreF(w.vel+3*i+d, v)
+				p.StoreF(w.pos+3*i+d, p.LoadF(w.pos+3*i+d)+waterDT*v)
+			}
+		}
+		p.Compute(int64(hi-lo)*120, int64(hi-lo)*waterTraffic)
+		p.Barrier()
+	}
+}
+
+// runSeq computes the sequential reference.
+func (w *Water) runSeq(m costs.Model) {
+	if w.seqPos != nil {
+		return
+	}
+	w.Shape()
+	n := w.N
+	pos := make([]float64, 3*n)
+	vel := make([]float64, 3*n)
+	force := make([]float64, 3*n)
+	for i := 0; i < n; i++ {
+		for d := 0; d < 3; d++ {
+			pos[3*i+d] = w.initPos(i, d)
+		}
+	}
+	clk := NewSeqClock(m)
+	for step := 0; step < w.Steps; step++ {
+		for i := 0; i < 3*n; i++ {
+			pos[i] += waterDT * vel[i]
+		}
+		clk.Compute(int64(n)*60, int64(n)*waterTraffic)
+		for i := range force {
+			force[i] = 0
+		}
+		pairs := 0
+		for i := 0; i < n; i++ {
+			for k := 1; k <= n/2; k++ {
+				j := (i + k) % n
+				if 2*k == n && i >= j {
+					continue
+				}
+				var dx [3]float64
+				r2 := 0.0
+				for d := 0; d < 3; d++ {
+					dx[d] = pos[3*i+d] - pos[3*j+d]
+					r2 += dx[d] * dx[d]
+				}
+				for d := 0; d < 3; d++ {
+					f := pairForce(dx, r2, d)
+					force[3*i+d] += f
+					force[3*j+d] -= f
+				}
+				pairs++
+			}
+		}
+		clk.Compute(int64(pairs)*waterPairNS, int64(pairs)*8)
+		for i := 0; i < 3*n; i++ {
+			v := vel[i] + waterDT*force[i]
+			vel[i] = v
+			pos[i] += waterDT * v
+		}
+		clk.Compute(int64(n)*120, int64(n)*waterTraffic)
+	}
+	w.seqPos = pos
+	w.seqNS = clk.NS()
+}
+
+// SeqTime returns the sequential execution time.
+func (w *Water) SeqTime(m costs.Model) int64 {
+	w.runSeq(m)
+	return w.seqNS
+}
+
+// Verify compares final positions with a tolerance: force accumulation
+// order differs between processors (the locked stripes), so results
+// agree only up to floating-point reassociation.
+func (w *Water) Verify(c *core.Cluster) error {
+	w.runSeq(*c.Config().Model)
+	for i, want := range w.seqPos {
+		got := c.ReadSharedF(w.pos + i)
+		if err := verifyF("Water pos", i, got, want, 1e-9); err != nil {
+			return fmt.Errorf("Water: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"io"
+
+	"cashmere/internal/core"
+	"cashmere/internal/stats"
+)
+
+// AblationShootdown regenerates Section 3.3.4: TLB shootdown versus
+// two-way diffing. It compares 2L against 2LS with polling-based
+// shootdown and 2LS with interrupt-based shootdown, at the full
+// configuration. The paper finds 2LS(poll) matches 2L, while
+// interrupt-based shootdown costs Water about 6%.
+func (s *Suite) AblationShootdown(w io.Writer) error {
+	variants := []Variant{
+		{Kind: core.TwoLevel},
+		{Kind: core.TwoLevelSD},
+		{Kind: core.TwoLevelSD, Interrupts: true},
+	}
+	line(w, "Section 3.3.4: two-way diffing vs shootdown at %s", FullCluster.Label())
+	line(w, "%-8s %12s %12s %12s %14s", "App", "2L (s)", "2LS poll (s)", "2LS intr (s)", "intr/2L")
+	for _, name := range AppNames() {
+		var secs [3]float64
+		var shoot [3]int64
+		for i, v := range variants {
+			res, err := s.Run(name, v, FullCluster)
+			if err != nil {
+				return err
+			}
+			secs[i] = res.ExecSeconds()
+			shoot[i] = res.Counts[stats.Shootdowns]
+		}
+		line(w, "%-8s %12.3f %12.3f %12.3f %13.1f%%  (shootdowns: %d)",
+			name, secs[0], secs[1], secs[2], 100*(secs[2]/secs[0]-1), shoot[2])
+	}
+	return nil
+}
+
+// AblationLockFree regenerates Section 3.3.5: the impact of the
+// lock-free protocol structures. 2L is compared against a variant whose
+// global directory entries and write-notice lists sit behind global
+// locks. The paper reports improvements of about 5% for Barnes and
+// Em3d and 7% for Ilink from going lock-free.
+func (s *Suite) AblationLockFree(w io.Writer) error {
+	lockfree := Variant{Kind: core.TwoLevel}
+	locked := Variant{Kind: core.TwoLevel, LockBased: true}
+	line(w, "Section 3.3.5: lock-free vs lock-based protocol structures at %s", FullCluster.Label())
+	line(w, "%-8s %14s %14s %12s %12s", "App", "lock-free (s)", "lock-based (s)", "improvement", "dir updates")
+	for _, name := range AppNames() {
+		free, err := s.Run(name, lockfree, FullCluster)
+		if err != nil {
+			return err
+		}
+		lk, err := s.Run(name, locked, FullCluster)
+		if err != nil {
+			return err
+		}
+		imp := 100 * (lk.ExecSeconds()/free.ExecSeconds() - 1)
+		line(w, "%-8s %14.3f %14.3f %11.1f%% %12d",
+			name, free.ExecSeconds(), lk.ExecSeconds(), imp,
+			free.Counts[stats.DirectoryUpdates])
+	}
+	return nil
+}

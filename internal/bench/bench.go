@@ -1,0 +1,256 @@
+// Package bench regenerates the evaluation of the paper: Table 1 (basic
+// operation costs), Table 2 (data set sizes and sequential times),
+// Table 3 (detailed per-application protocol statistics at 32
+// processors), Figure 6 (normalized execution-time breakdown), Figure 7
+// (speedups across protocols and cluster configurations), and the
+// Section 3.3.4/3.3.5 ablations (shootdown vs two-way diffing, lock-free
+// vs lock-based metadata).
+//
+// Absolute numbers depend on the simulated platform; what the harness is
+// expected to reproduce is the paper's shape: which protocol wins, by
+// roughly what factor, and where the crossovers fall. EXPERIMENTS.md
+// records paper-vs-measured for every experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+	"cashmere/internal/stats"
+)
+
+// Variant identifies a protocol configuration column.
+type Variant struct {
+	Kind       core.Kind
+	HomeOpt    bool
+	LockBased  bool
+	Interrupts bool
+}
+
+// Label returns the paper's abbreviation for the variant.
+func (v Variant) Label() string {
+	s := v.Kind.String()
+	if v.HomeOpt {
+		s += "+H"
+	}
+	if v.LockBased {
+		s += "+lk"
+	}
+	if v.Interrupts {
+		s += "+intr"
+	}
+	return s
+}
+
+// FourProtocols are the paper's main comparison columns.
+var FourProtocols = []Variant{
+	{Kind: core.TwoLevel},
+	{Kind: core.TwoLevelSD},
+	{Kind: core.OneLevelDiff},
+	{Kind: core.OneLevelWrite},
+}
+
+// Topology is a processor configuration in the paper's P:ppn notation
+// (total processors : processes per node).
+type Topology struct {
+	Nodes, PPN int
+}
+
+// Label renders the paper's notation, e.g. "32:4".
+func (t Topology) Label() string { return fmt.Sprintf("%d:%d", t.Nodes*t.PPN, t.PPN) }
+
+// Figure7Topologies are the configurations of Figure 7.
+var Figure7Topologies = []Topology{
+	{4, 1}, {1, 4}, {8, 1}, {4, 2}, {2, 4}, {8, 2}, {4, 4}, {8, 3}, {8, 4},
+}
+
+// FullCluster is the paper's full platform: eight 4-processor nodes.
+var FullCluster = Topology{Nodes: 8, PPN: 4}
+
+// Suite runs and caches experiment executions.
+type Suite struct {
+	// Quick selects the tiny test problem sizes instead of the default
+	// (scaled-down) evaluation sizes.
+	Quick bool
+
+	mu    sync.Mutex
+	cache map[runKey]runOut
+}
+
+type runKey struct {
+	app  string
+	v    Variant
+	topo Topology
+}
+
+type runOut struct {
+	res core.Result
+	err error
+}
+
+// NewSuite returns an empty suite.
+func NewSuite(quick bool) *Suite {
+	return &Suite{Quick: quick, cache: make(map[runKey]runOut)}
+}
+
+// appInstance returns a fresh instance of the named application at the
+// suite's problem size.
+func (s *Suite) appInstance(name string) apps.App {
+	set := apps.All()
+	if s.Quick {
+		set = apps.Small()
+	}
+	for _, a := range set {
+		if a.Name() == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AppNames returns the suite's application names in Table 2 order.
+func AppNames() []string {
+	var names []string
+	for _, a := range apps.Small() {
+		names = append(names, a.Name())
+	}
+	return names
+}
+
+// Run executes (with caching) the named application under the variant
+// and topology and returns its statistics.
+func (s *Suite) Run(name string, v Variant, topo Topology) (core.Result, error) {
+	key := runKey{name, v, topo}
+	s.mu.Lock()
+	if out, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return out.res, out.err
+	}
+	s.mu.Unlock()
+
+	app := s.appInstance(name)
+	if app == nil {
+		return core.Result{}, fmt.Errorf("bench: unknown application %q", name)
+	}
+	cfg := core.Config{
+		Nodes:         topo.Nodes,
+		ProcsPerNode:  topo.PPN,
+		Protocol:      v.Kind,
+		HomeOpt:       v.HomeOpt,
+		LockBasedMeta: v.LockBased,
+		UseInterrupts: v.Interrupts,
+	}
+	res, err := apps.Run(app, cfg)
+
+	s.mu.Lock()
+	s.cache[key] = runOut{res, err}
+	s.mu.Unlock()
+	return res, err
+}
+
+// Speedup returns the named application's speedup for a cached or fresh
+// run under the variant and topology.
+func (s *Suite) Speedup(name string, v Variant, topo Topology) (float64, error) {
+	res, err := s.Run(name, v, topo)
+	if err != nil {
+		return 0, err
+	}
+	app := s.appInstance(name)
+	seq := app.SeqTime(costs.Default())
+	return float64(seq) / float64(res.ExecNS), nil
+}
+
+// bar renders an ASCII bar of the given value against a scale maximum.
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// sortedKeys is a test helper exposing the cached run set.
+func (s *Suite) sortedKeys() []runKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]runKey, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.app != b.app {
+			return a.app < b.app
+		}
+		return a.v.Label() < b.v.Label()
+	})
+	return keys
+}
+
+// kcount formats a count the way Table 3 does (thousands with two
+// decimals for large values).
+func kcount(n int64) string {
+	if n >= 1000 {
+		return fmt.Sprintf("%.2fK", float64(n)/1000)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// line writes a printf-formatted line.
+func line(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+// statRow extracts a Table 3 statistics row.
+func statRow(res core.Result) []string {
+	t := res.Total
+	return []string{
+		fmt.Sprintf("%.3f", t.ExecSeconds()),
+		kcount(t.Counts[stats.LockAcquires]),
+		fmt.Sprintf("%d", t.Counts[stats.Barriers]),
+		kcount(t.Counts[stats.ReadFaults]),
+		kcount(t.Counts[stats.WriteFaults]),
+		kcount(t.Counts[stats.PageTransfers]),
+		kcount(t.Counts[stats.DirectoryUpdates]),
+		kcount(t.Counts[stats.WriteNotices]),
+		kcount(t.Counts[stats.ExclTransitions]),
+		fmt.Sprintf("%.2f", t.DataMB()),
+		kcount(t.Counts[stats.TwinCreations]),
+		kcount(t.Counts[stats.IncomingDiffs]),
+		kcount(t.Counts[stats.FlushUpdates]),
+		kcount(t.Counts[stats.Shootdowns]),
+	}
+}
+
+// statLabels are the Table 3 row labels, matching statRow's order.
+var statLabels = []string{
+	"Exec. time (secs)",
+	"Lock/Flag Acquires",
+	"Barriers",
+	"Read Faults",
+	"Write Faults",
+	"Page Transfers",
+	"Directory Updates",
+	"Write Notices",
+	"Excl. Mode Transitions",
+	"Data (Mbytes)",
+	"Twin Creations",
+	"Incoming Diffs",
+	"Flush-Updates",
+	"Shootdowns",
+}

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cashmere/internal/core"
+	"cashmere/internal/costs"
+	"cashmere/internal/stats"
+)
+
+func TestVariantLabels(t *testing.T) {
+	cases := map[string]Variant{
+		"2L":       {Kind: core.TwoLevel},
+		"2LS":      {Kind: core.TwoLevelSD},
+		"1LD":      {Kind: core.OneLevelDiff},
+		"1L":       {Kind: core.OneLevelWrite},
+		"1LD+H":    {Kind: core.OneLevelDiff, HomeOpt: true},
+		"2L+lk":    {Kind: core.TwoLevel, LockBased: true},
+		"2LS+intr": {Kind: core.TwoLevelSD, Interrupts: true},
+	}
+	for want, v := range cases {
+		if got := v.Label(); got != want {
+			t.Errorf("Label() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTopologyLabels(t *testing.T) {
+	if got := (Topology{8, 4}).Label(); got != "32:4" {
+		t.Errorf("label = %q", got)
+	}
+	if got := (Topology{1, 4}).Label(); got != "4:4" {
+		t.Errorf("label = %q", got)
+	}
+	// The figure's nine configurations match the paper.
+	want := []string{"4:1", "4:4", "8:1", "8:2", "8:4", "16:2", "16:4", "24:3", "32:4"}
+	if len(Figure7Topologies) != len(want) {
+		t.Fatalf("%d topologies, want %d", len(Figure7Topologies), len(want))
+	}
+	for i, topo := range Figure7Topologies {
+		if topo.Label() != want[i] {
+			t.Errorf("topology %d = %s, want %s", i, topo.Label(), want[i])
+		}
+	}
+}
+
+func TestMeasureBasicOpsMatchTable1(t *testing.T) {
+	m := costs.Default()
+	us := int64(time.Microsecond)
+	two, err := MeasureBasicOps(core.TwoLevel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := MeasureBasicOps(core.OneLevelDiff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(name string, got, want, tol int64) {
+		t.Helper()
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %dus, want %dus (+/- %dus)", name, got/us, want/us, tol/us)
+		}
+	}
+	// Paper Table 1: 19/11us locks; 58/41us and 321/364us barriers;
+	// 824/777us remote transfers; 467us local.
+	approx("2L lock", two.LockAcquire, m.LockAcquire2L, 2*us)
+	approx("1L lock", one.LockAcquire, m.LockAcquire1L, 2*us)
+	approx("2L barrier2", two.Barrier2, m.Barrier2Proc2L, 5*us)
+	approx("1L barrier2", one.Barrier2, m.Barrier2Proc1L, 5*us)
+	approx("2L barrier32", two.Barrier32, m.Barrier32Proc2L, 40*us)
+	approx("1L barrier32", one.Barrier32, m.Barrier32Proc1L, 40*us)
+	approx("2L remote xfer", two.PageTransferRemote, m.PageTransferRemote2L, 90*us)
+	approx("1L remote xfer", one.PageTransferRemote, m.PageTransferRemote1L, 90*us)
+	approx("1L local xfer", one.PageTransferLocal, m.PageTransferLocal, 90*us)
+	if two.PageTransferLocal != m.PageTransferLocal {
+		t.Errorf("2L local transfer = %d, want platform constant", two.PageTransferLocal)
+	}
+	// The relationships the paper calls out: two-level locks cost more,
+	// two-level barriers cost less at scale.
+	if two.LockAcquire <= one.LockAcquire {
+		t.Error("2L lock not more expensive than 1L lock")
+	}
+	if two.Barrier32 >= one.Barrier32 {
+		t.Error("2L 32-proc barrier not cheaper than 1L")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Lock Acquire", "Barrier", "Page Transfer (Remote)", "2L/2LS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBasicCostsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	BasicCosts(&buf)
+	for _, want := range []string{"Twin creation", "Incoming diff", "Directory update", "199"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("BasicCosts missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	s := NewSuite(true)
+	var buf bytes.Buffer
+	s.Table2(&buf)
+	out := buf.String()
+	for _, name := range AppNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table2 missing %s", name)
+		}
+	}
+}
+
+func TestSuiteRunCaching(t *testing.T) {
+	s := NewSuite(true)
+	v := Variant{Kind: core.TwoLevel}
+	topo := Topology{2, 2}
+	r1, err := s.Run("SOR", v, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run("SOR", v, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.ExecNS != r2.ExecNS {
+		t.Error("cached run differs")
+	}
+	if len(s.sortedKeys()) != 1 {
+		t.Errorf("cache holds %d keys, want 1", len(s.sortedKeys()))
+	}
+	if _, err := s.Run("nope", v, topo); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSpeedupPositive(t *testing.T) {
+	s := NewSuite(true)
+	sp, err := s.Speedup("Em3d", Variant{Kind: core.TwoLevel}, Topology{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 0 {
+		t.Errorf("speedup = %f", sp)
+	}
+}
+
+func TestTable3AndFigure6Quick(t *testing.T) {
+	s := NewSuite(true)
+	var buf bytes.Buffer
+	if err := s.Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"--- 2L ---", "--- 1LD ---", "Twin Creations", "Data (Mbytes)", "Shootdowns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := s.Figure6(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Comm&Wait") {
+		t.Error("Figure6 missing breakdown header")
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	s := NewSuite(true)
+	var buf bytes.Buffer
+	if err := s.AblationShootdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2LS poll") {
+		t.Error("shootdown ablation missing column")
+	}
+	buf.Reset()
+	if err := s.AblationLockFree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lock-based") {
+		t.Error("lock-free ablation missing column")
+	}
+}
+
+func TestShapeTwoLevelWinsOnSharingHeavyApps(t *testing.T) {
+	// The paper's headline: 2L transfers less data than 1LD for the
+	// sharing-heavy applications (Gauss shows ~4x) and never does
+	// worse. Quick sizes are noisy, so only the direction is checked.
+	s := NewSuite(true)
+	for _, name := range []string{"Gauss", "Em3d", "Barnes"} {
+		two, err := s.Run(name, Variant{Kind: core.TwoLevel}, FullCluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := s.Run(name, Variant{Kind: core.OneLevelDiff}, FullCluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if two.DataBytes >= one.DataBytes {
+			t.Errorf("%s: 2L data (%d) not below 1LD (%d)", name, two.DataBytes, one.DataBytes)
+		}
+		if two.Counts[stats.PageTransfers] >= one.Counts[stats.PageTransfers] {
+			t.Errorf("%s: 2L transfers (%d) not below 1LD (%d)", name,
+				two.Counts[stats.PageTransfers], one.Counts[stats.PageTransfers])
+		}
+	}
+}
+
+func TestKcount(t *testing.T) {
+	if kcount(345) != "345" {
+		t.Errorf("kcount(345) = %q", kcount(345))
+	}
+	if kcount(12345) != "12.35K" {
+		t.Errorf("kcount(12345) = %q", kcount(12345))
+	}
+}

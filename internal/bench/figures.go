@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cashmere/internal/core"
+	"cashmere/internal/stats"
+)
+
+// Figure6 writes the normalized execution-time breakdown at the full
+// configuration: User / Protocol / Polling / Comm & Wait / Write
+// Doubling per application and protocol, normalized to Cashmere-2L's
+// total (paper Figure 6).
+func (s *Suite) Figure6(w io.Writer) error {
+	line(w, "Figure 6: normalized execution time breakdown at %s (percent of 2L total)",
+		FullCluster.Label())
+	line(w, "%-8s %-6s %8s %9s %8s %10s %10s %8s", "App", "Proto",
+		"User", "Protocol", "Polling", "Comm&Wait", "WriteDbl", "Total")
+	for _, name := range AppNames() {
+		base, err := s.Run(name, Variant{Kind: core.TwoLevel}, FullCluster)
+		if err != nil {
+			return err
+		}
+		baseSum := timeSum(base)
+		for _, v := range FourProtocols {
+			res, err := s.Run(name, v, FullCluster)
+			if err != nil {
+				return err
+			}
+			t := res.Total
+			pct := func(c stats.Component) float64 {
+				return 100 * float64(t.Time[c]) / float64(baseSum)
+			}
+			total := 100 * float64(timeSum(res)) / float64(baseSum)
+			line(w, "%-8s %-6s %8.1f %9.1f %8.1f %10.1f %10.1f %8.1f",
+				name, v.Label(), pct(stats.User), pct(stats.Protocol),
+				pct(stats.Polling), pct(stats.CommWait), pct(stats.WriteDoubling),
+				total)
+		}
+	}
+	return nil
+}
+
+func timeSum(res core.Result) int64 {
+	var sum int64
+	for _, v := range res.Time {
+		sum += v
+	}
+	if sum == 0 {
+		sum = 1
+	}
+	return sum
+}
+
+// Figure7Variants are the bar groups of Figure 7: the four protocols
+// plus the home-node-optimized one-level protocols (the unshaded
+// extensions in the paper's chart).
+var Figure7Variants = []Variant{
+	{Kind: core.TwoLevel},
+	{Kind: core.TwoLevelSD},
+	{Kind: core.OneLevelDiff},
+	{Kind: core.OneLevelWrite},
+	{Kind: core.OneLevelDiff, HomeOpt: true},
+	{Kind: core.OneLevelWrite, HomeOpt: true},
+}
+
+// Figure7 writes the speedup chart: every application under every
+// protocol variant across the nine cluster configurations (paper
+// Figure 7).
+func (s *Suite) Figure7(w io.Writer) error {
+	line(w, "Figure 7: speedups (sequential time / parallel virtual time)")
+	for _, name := range AppNames() {
+		line(w, "")
+		line(w, "--- %s ---", name)
+		header := pad("config", 8)
+		for _, v := range Figure7Variants {
+			header += pad(v.Label(), 9)
+		}
+		line(w, "%s", header)
+		maxSp := 0.0
+		type cell struct{ sp float64 }
+		grid := make([][]cell, len(Figure7Topologies))
+		for ti, topo := range Figure7Topologies {
+			grid[ti] = make([]cell, len(Figure7Variants))
+			for vi, v := range Figure7Variants {
+				sp, err := s.Speedup(name, v, topo)
+				if err != nil {
+					return err
+				}
+				grid[ti][vi] = cell{sp}
+				if sp > maxSp {
+					maxSp = sp
+				}
+			}
+		}
+		for ti, topo := range Figure7Topologies {
+			out := pad(topo.Label(), 8)
+			for vi := range Figure7Variants {
+				out += pad(fmtSp(grid[ti][vi].sp), 9)
+			}
+			line(w, "%s", out)
+		}
+		// Bar chart of the full configuration.
+		line(w, "  at %s:", FullCluster.Label())
+		for vi, v := range Figure7Variants {
+			sp := grid[len(Figure7Topologies)-1][vi].sp
+			line(w, "  %-8s %6.2f |%s", v.Label(), sp, bar(sp, maxSp, 40))
+		}
+	}
+	return nil
+}
+
+func fmtSp(sp float64) string {
+	return fmt.Sprintf("%.2f", sp)
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"io"
+
+	"cashmere/internal/costs"
+)
+
+// Table2 writes the data set sizes and sequential execution times of
+// the application suite (paper Table 2, at this reproduction's scaled
+// problem sizes).
+func (s *Suite) Table2(w io.Writer) {
+	line(w, "Table 2: data set sizes and sequential execution time")
+	line(w, "%-8s %-48s %12s", "Program", "Problem Size", "Time (sec)")
+	m := costs.Default()
+	for _, name := range AppNames() {
+		app := s.appInstance(name)
+		line(w, "%-8s %-48s %12.3f", app.Name(), app.DataSet(),
+			float64(app.SeqTime(m))/1e9)
+	}
+}
+
+// Table3 writes the detailed per-application statistics under the four
+// protocols at the full 32-processor configuration (paper Table 3).
+func (s *Suite) Table3(w io.Writer) error {
+	line(w, "Table 3: detailed statistics at %d processors (%s)",
+		FullCluster.Nodes*FullCluster.PPN, FullCluster.Label())
+	for _, v := range FourProtocols {
+		line(w, "")
+		line(w, "--- %s ---", v.Label())
+		rows := make([][]string, len(statLabels))
+		for i := range rows {
+			rows[i] = []string{statLabels[i]}
+		}
+		header := "Application            "
+		for _, name := range AppNames() {
+			res, err := s.Run(name, v, FullCluster)
+			if err != nil {
+				return err
+			}
+			header += pad(name, 10)
+			for i, cell := range statRow(res) {
+				rows[i] = append(rows[i], cell)
+			}
+		}
+		line(w, "%s", header)
+		for _, row := range rows {
+			out := pad(row[0], 23)
+			for _, cell := range row[1:] {
+				out += pad(cell, 10)
+			}
+			line(w, "%s", out)
+		}
+	}
+	return nil
+}
+
+// pad right-pads s to width.
+func pad(s string, width int) string {
+	for len(s) < width {
+		s += " "
+	}
+	return s
+}

@@ -1,0 +1,409 @@
+// Package core implements the Cashmere coherence protocols on the
+// simulated cluster: the two-level Cashmere-2L protocol of the paper,
+// its shootdown variant (Cashmere-2LS), and the one-level comparison
+// protocols (Cashmere-1LD with twins and diffs, Cashmere-1L with write
+// doubling), plus the home-node-optimization and lock-based-metadata
+// ablations.
+//
+// The engine uses direct execution: one goroutine per simulated
+// processor really runs the application against word-granularity shared
+// memory, with software page tables standing in for VM protection and
+// per-processor virtual clocks (see internal/sim) standing in for real
+// time. All protocol state transitions — faults, fetches, diffs,
+// directory updates, write notices, exclusive mode — happen for real,
+// so the applications' outputs validate the protocol end to end.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cashmere/internal/costs"
+	"cashmere/internal/directory"
+	"cashmere/internal/memchan"
+	"cashmere/internal/msync"
+	"cashmere/internal/sim"
+	"cashmere/internal/stats"
+	"cashmere/internal/vm"
+	"cashmere/internal/wnotice"
+)
+
+// Kind selects a coherence protocol.
+type Kind int
+
+// The protocols evaluated in the paper.
+const (
+	// TwoLevel is Cashmere-2L: hardware sharing within a node,
+	// software coherence with two-way diffing across nodes.
+	TwoLevel Kind = iota
+	// TwoLevelSD is Cashmere-2LS: identical to TwoLevel but using
+	// shootdown of concurrent local writers instead of two-way diffing.
+	TwoLevelSD
+	// OneLevelDiff is Cashmere-1LD: every processor is its own
+	// protocol node; twins and outgoing diffs propagate changes.
+	OneLevelDiff
+	// OneLevelWrite is Cashmere-1L: every processor is its own
+	// protocol node; shared writes are "doubled" through to the home
+	// copy on the fly.
+	OneLevelWrite
+)
+
+// String returns the paper's abbreviation for the protocol.
+func (k Kind) String() string {
+	switch k {
+	case TwoLevel:
+		return "2L"
+	case TwoLevelSD:
+		return "2LS"
+	case OneLevelDiff:
+		return "1LD"
+	case OneLevelWrite:
+		return "1L"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// TwoLevelFamily reports whether the protocol groups an SMP node's
+// processors into one protocol node.
+func (k Kind) TwoLevelFamily() bool { return k == TwoLevel || k == TwoLevelSD }
+
+// Config describes a cluster and protocol configuration.
+type Config struct {
+	// Nodes and ProcsPerNode give the physical topology (the paper's
+	// platform is 8 nodes x 4 processors). Configurations such as 8:2
+	// use fewer processors per node.
+	Nodes        int
+	ProcsPerNode int
+
+	// Protocol selects the coherence protocol.
+	Protocol Kind
+
+	// HomeOpt enables the home-node optimization for the one-level
+	// protocols: processors physically co-located with a page's home
+	// access the master copy directly (Section 2.6). Ignored by the
+	// two-level protocols, which subsume it.
+	HomeOpt bool
+
+	// LockBasedMeta replaces the lock-free directory and write-notice
+	// structures with globally-locked ones (the Section 3.3.5
+	// ablation).
+	LockBasedMeta bool
+
+	// UseInterrupts delivers explicit requests and shootdowns with
+	// interrupts instead of message polling (Section 3.3.4).
+	UseInterrupts bool
+
+	// PageWords is the coherence block size in 64-bit words
+	// (default 1024, i.e. the platform's 8 Kbyte page).
+	PageWords int
+
+	// SharedWords is the size of the shared address space in words.
+	SharedWords int
+
+	// SuperpagePages groups pages into superpages that share a home
+	// node (default 8), reflecting the Memory Channel mapping-table
+	// limits of Section 2.3.
+	SuperpagePages int
+
+	// Locks, Flags: how many application locks and flags to provide.
+	Locks int
+	Flags int
+
+	// Model supplies operation costs; zero value means costs.Default().
+	Model *costs.Model
+}
+
+func (c *Config) fill() error {
+	if c.Nodes <= 0 || c.ProcsPerNode <= 0 {
+		return fmt.Errorf("core: need positive Nodes and ProcsPerNode, got %d:%d", c.Nodes, c.ProcsPerNode)
+	}
+	if c.Nodes > 8 {
+		return fmt.Errorf("core: the directory word layout supports at most 8 nodes, got %d", c.Nodes)
+	}
+	if c.PageWords == 0 {
+		c.PageWords = 1024
+	}
+	if c.PageWords < 1 {
+		return fmt.Errorf("core: invalid PageWords %d", c.PageWords)
+	}
+	if c.SharedWords <= 0 {
+		return fmt.Errorf("core: need positive SharedWords, got %d", c.SharedWords)
+	}
+	if c.SuperpagePages == 0 {
+		c.SuperpagePages = 8
+	}
+	if c.Model == nil {
+		m := costs.Default()
+		c.Model = &m
+	}
+	return nil
+}
+
+// node is one protocol node: a physical SMP node under the two-level
+// protocols, a single processor under the one-level protocols.
+type node struct {
+	id   int // protocol node id
+	phys int // physical node hosting it
+
+	mu sync.Mutex // protects protocol state below
+
+	vm     *vm.Node    // per-processor page tables
+	frames []frameSlot // local copy of each page (nil if unmapped)
+	twins  [][]int64   // twin of each page (nil if none)
+	meta   []pageMeta  // second-level directory timestamps
+	lclock directory.LClock
+
+	// gwn is the node's globally-accessible write-notice list (one bin
+	// per remote protocol node); under the lock-based ablation the
+	// single locked list is used instead.
+	gwn      *wnotice.Global
+	wnLocked *wnotice.Locked
+
+	// arrived flags each local processor's arrival at the current
+	// barrier episode, for the last-arriving-local-writer flush rule.
+	arrived []bool
+
+	procs []*Proc // local processors
+}
+
+// frameSlot holds an atomically-published page frame pointer: the access
+// fast path reads it without the node lock. aliased records whether the
+// frame is the master copy itself (home node, or the home-node
+// optimization), which the 1L write-doubling fast path consults.
+type frameSlot struct {
+	p       framePtr
+	aliased atomic.Bool
+}
+
+// pageMeta is the per-page second-level directory entry: the three
+// logical timestamps of Section 2.3.
+type pageMeta struct {
+	flushTS  int64 // completion time of the last home-node flush
+	updateTS int64 // completion time of the last local update
+	wnTS     int64 // time the most recent write notice was received
+}
+
+// Cluster is a running simulated cluster.
+type Cluster struct {
+	cfg   Config
+	model *costs.Model
+	net   *memchan.Network
+	dir   *directory.Global
+
+	pages      int
+	superpages int
+
+	// masters[p] is page p's master copy — the Memory Channel receive
+	// region at the home node. The home node's local frame aliases it.
+	masters [][]int64
+
+	// Home state per superpage: packed (protoNode, proc, firstTouched)
+	// words readable lock-free; relocation serializes on homeLock.
+	// homeNode/homeProc hold the round-robin defaults from New.
+	homeLock sim.VLock
+	homes    []atomic.Int64
+	homeNode []int
+	homeProc []int
+
+	// initFlag is raised by EndInit: first-touch relocation is enabled
+	// only after program initialization (Section 2.3).
+	initFlag atomic.Bool
+
+	// charging gates virtual-time charging of protocol operations; it
+	// is lowered during the BeginInit/EndInit initialization epoch so
+	// scaled-down problems are not dominated by initialization costs
+	// the paper's full-length runs amortize.
+	charging atomic.Bool
+
+	nodes []*node
+	procs []*Proc
+
+	locks []*msync.Lock
+	flags []*msync.Flag
+	bar   *msync.Barrier
+}
+
+// New builds a cluster for the given configuration.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, model: cfg.Model}
+	c.charging.Store(true)
+	c.pages = (cfg.SharedWords + cfg.PageWords - 1) / cfg.PageWords
+	c.superpages = (c.pages + cfg.SuperpagePages - 1) / cfg.SuperpagePages
+
+	c.net = memchan.New(cfg.Nodes, *c.model)
+
+	protoNodes := cfg.Nodes
+	if !cfg.Protocol.TwoLevelFamily() {
+		protoNodes = cfg.Nodes * cfg.ProcsPerNode
+	}
+	physOf := func(pn int) int { return c.physOfProto(pn) }
+	c.dir = directory.NewGlobal(c.net, c.pages, protoNodes, physOf, cfg.LockBasedMeta)
+
+	c.masters = make([][]int64, c.pages)
+	for p := range c.masters {
+		c.masters[p] = make([]int64, cfg.PageWords)
+	}
+
+	c.homeNode = make([]int, c.superpages)
+	c.homeProc = make([]int, c.superpages)
+	for sp := range c.homeNode {
+		// Round-robin default assignment across protocol nodes.
+		c.homeNode[sp] = sp % protoNodes
+		c.homeProc[sp] = c.firstProcOf(c.homeNode[sp])
+	}
+	c.initHomes()
+
+	procsPerProto := cfg.ProcsPerNode
+	if !cfg.Protocol.TwoLevelFamily() {
+		procsPerProto = 1
+	}
+	c.nodes = make([]*node, protoNodes)
+	for i := range c.nodes {
+		n := &node{
+			id:      i,
+			phys:    c.physOfProto(i),
+			vm:      vm.NewNode(procsPerProto, c.pages),
+			frames:  make([]frameSlot, c.pages),
+			twins:   make([][]int64, c.pages),
+			meta:    make([]pageMeta, c.pages),
+			arrived: make([]bool, procsPerProto),
+		}
+		if cfg.LockBasedMeta {
+			n.wnLocked = wnotice.NewLocked()
+		} else {
+			n.gwn = wnotice.NewGlobal(protoNodes)
+		}
+		c.nodes[i] = n
+	}
+
+	total := cfg.Nodes * cfg.ProcsPerNode
+	c.procs = make([]*Proc, total)
+	for g := 0; g < total; g++ {
+		pn := c.protoOfProc(g)
+		n := c.nodes[pn]
+		local := len(n.procs)
+		p := &Proc{
+			c:       c,
+			n:       n,
+			global:  g,
+			local:   local,
+			table:   n.vm.Proc(local),
+			nle:     wnotice.NewPerProc(c.pages),
+			pwn:     wnotice.NewPerProc(c.pages),
+			dirtyIn: make([]bool, c.pages),
+		}
+		n.procs = append(n.procs, p)
+		c.procs[g] = p
+	}
+
+	c.locks = make([]*msync.Lock, cfg.Locks)
+	for i := range c.locks {
+		c.locks[i] = msync.NewLock(c.net)
+	}
+	c.flags = make([]*msync.Flag, cfg.Flags)
+	for i := range c.flags {
+		c.flags[i] = msync.NewFlag(c.net)
+	}
+	c.bar = msync.NewBarrier(total, c.model.Barrier(total, cfg.Protocol.TwoLevelFamily()))
+	return c, nil
+}
+
+// physOfProto maps a protocol node to its physical node.
+func (c *Cluster) physOfProto(pn int) int {
+	if c.cfg.Protocol.TwoLevelFamily() {
+		return pn
+	}
+	return pn / c.cfg.ProcsPerNode
+}
+
+// protoOfProc maps a global processor id to its protocol node.
+func (c *Cluster) protoOfProc(g int) int {
+	if c.cfg.Protocol.TwoLevelFamily() {
+		return g / c.cfg.ProcsPerNode
+	}
+	return g
+}
+
+// firstProcOf returns the lowest global processor id on protocol node pn.
+func (c *Cluster) firstProcOf(pn int) int {
+	if c.cfg.Protocol.TwoLevelFamily() {
+		return pn * c.cfg.ProcsPerNode
+	}
+	return pn
+}
+
+// protoOfHomeProc maps the directory's home processor id back to its
+// protocol node.
+func (c *Cluster) protoOfHomeProc(proc int) int { return c.protoOfProc(proc) }
+
+// NumProcs returns the total processor count.
+func (c *Cluster) NumProcs() int { return len(c.procs) }
+
+// Pages returns the number of shared pages.
+func (c *Cluster) Pages() int { return c.pages }
+
+// PageWords returns the coherence block size in words.
+func (c *Cluster) PageWords() int { return c.cfg.PageWords }
+
+// Config returns the cluster's (filled-in) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Result summarizes a run.
+type Result struct {
+	stats.Total
+	Finish []int64 // per-processor finishing virtual times
+}
+
+// Run executes body on every simulated processor concurrently and
+// returns the aggregated statistics. It may be called once per cluster.
+func (c *Cluster) Run(body func(p *Proc)) Result {
+	var wg sync.WaitGroup
+	for _, p := range c.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+
+	finish := make([]int64, len(c.procs))
+	perProc := make([]*stats.Proc, len(c.procs))
+	for i, p := range c.procs {
+		finish[i] = p.clk.Now()
+		perProc[i] = &p.st
+	}
+	return Result{Total: stats.Aggregate(perProc, finish), Finish: finish}
+}
+
+// superOf returns the superpage containing page.
+func (c *Cluster) superOf(page int) int { return page / c.cfg.SuperpagePages }
+
+// ReadShared returns the current value of the shared word at addr. It
+// is intended for validating results after Run returns: it reads the
+// master copy, or the exclusive holder's frame for pages still held in
+// exclusive mode (whose master may be stale by design).
+func (c *Cluster) ReadShared(addr int) int64 {
+	page := addr / c.cfg.PageWords
+	off := addr % c.cfg.PageWords
+	if holder, _, ok := c.dir.ExclHolder(0, page); ok {
+		if f := c.nodes[holder].frames[page].p.Load(); f != nil {
+			return atomic.LoadInt64(&(*f)[off])
+		}
+	}
+	return atomic.LoadInt64(&c.masters[page][off])
+}
+
+// ReadSharedF returns ReadShared(addr) interpreted as a float64.
+func (c *Cluster) ReadSharedF(addr int) float64 {
+	return math.Float64frombits(uint64(c.ReadShared(addr)))
+}
+
+// BytesMoved returns the total Memory Channel payload traffic so far.
+func (c *Cluster) BytesMoved() int64 { return c.net.BytesMoved() }

@@ -1,0 +1,573 @@
+package core
+
+import (
+	"testing"
+
+	"cashmere/internal/stats"
+)
+
+// testConfig returns a small cluster configuration for protocol kind k.
+func testConfig(k Kind, nodes, ppn int) Config {
+	return Config{
+		Nodes:        nodes,
+		ProcsPerNode: ppn,
+		Protocol:     k,
+		PageWords:    16,
+		SharedWords:  16 * 64, // 64 pages
+		Locks:        4,
+		Flags:        8,
+	}
+}
+
+var allKinds = []Kind{TwoLevel, TwoLevelSD, OneLevelDiff, OneLevelWrite}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0, ProcsPerNode: 1, SharedWords: 10}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(Config{Nodes: 9, ProcsPerNode: 1, SharedWords: 10}); err == nil {
+		t.Error("nine nodes accepted (directory supports 8)")
+	}
+	if _, err := New(Config{Nodes: 2, ProcsPerNode: 2, SharedWords: 0}); err == nil {
+		t.Error("zero shared words accepted")
+	}
+	c, err := New(Config{Nodes: 2, ProcsPerNode: 2, SharedWords: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().PageWords != 1024 {
+		t.Errorf("default PageWords = %d", c.Config().PageWords)
+	}
+	if c.Pages() != 1 {
+		t.Errorf("Pages = %d, want 1", c.Pages())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{TwoLevel: "2L", TwoLevelSD: "2LS", OneLevelDiff: "1LD", OneLevelWrite: "1L"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind = %q", Kind(99).String())
+	}
+}
+
+func TestSingleProcStoreLoad(t *testing.T) {
+	for _, k := range allKinds {
+		c, err := New(testConfig(k, 1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.Run(func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Store(i, int64(i*i))
+			}
+			for i := 0; i < 100; i++ {
+				if got := p.Load(i); got != int64(i*i) {
+					t.Errorf("%v: Load(%d) = %d, want %d", k, i, got, i*i)
+				}
+			}
+			p.StoreF(200, 3.25)
+			if got := p.LoadF(200); got != 3.25 {
+				t.Errorf("%v: LoadF = %v", k, got)
+			}
+		})
+		if res.ExecNS <= 0 {
+			t.Errorf("%v: no virtual time elapsed", k)
+		}
+		if res.Counts[stats.ReadFaults] == 0 && res.Counts[stats.WriteFaults] == 0 {
+			t.Errorf("%v: no faults recorded", k)
+		}
+	}
+}
+
+func TestCrossNodeSharingViaBarrier(t *testing.T) {
+	// Proc 0 (node 0) writes a region; after a barrier every processor
+	// on every node reads it back.
+	for _, k := range allKinds {
+		c, err := New(testConfig(k, 4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const words = 100
+		c.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				for i := 0; i < words; i++ {
+					p.Store(i, int64(1000+i))
+				}
+			}
+			p.Barrier()
+			for i := 0; i < words; i++ {
+				if got := p.Load(i); got != int64(1000+i) {
+					t.Errorf("%v: proc %d Load(%d) = %d, want %d", k, p.ID(), i, got, 1000+i)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestMultiWriterFalseSharingMerge(t *testing.T) {
+	// Every processor writes its own word of the SAME page between two
+	// barriers; afterwards every processor must observe all writes.
+	// This exercises multi-writer diff merging at the home node.
+	for _, k := range allKinds {
+		c, err := New(testConfig(k, 4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := c.NumProcs()
+		c.Run(func(p *Proc) {
+			p.Store(p.ID(), int64(100+p.ID()))
+			p.Barrier()
+			for i := 0; i < n; i++ {
+				if got := p.Load(i); got != int64(100+i) {
+					t.Errorf("%v: proc %d sees word %d = %d, want %d", k, p.ID(), i, got, 100+i)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestRepeatedPhases(t *testing.T) {
+	// SOR-like alternation: even procs write phase A, odd write phase
+	// B, with barriers between; values accumulate across phases.
+	for _, k := range allKinds {
+		c, err := New(testConfig(k, 2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rounds = 8
+		c.Run(func(p *Proc) {
+			me := p.ID()
+			for r := 0; r < rounds; r++ {
+				if r%2 == me%2 {
+					old := p.Load(me)
+					p.Store(me, old+1)
+				}
+				p.Barrier()
+			}
+			for i := 0; i < p.NProcs(); i++ {
+				if got := p.Load(i); got != rounds/2 {
+					t.Errorf("%v: proc %d sees counter %d = %d, want %d", k, p.ID(), i, got, rounds/2)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestLockMigratorySharing(t *testing.T) {
+	// A counter protected by a lock is incremented by every processor
+	// many times (migratory sharing, as in Water's force phase).
+	for _, k := range allKinds {
+		c, err := New(testConfig(k, 4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const per = 10
+		total := int64(c.NumProcs() * per)
+		c.Run(func(p *Proc) {
+			for i := 0; i < per; i++ {
+				p.Lock(0)
+				p.Store(0, p.Load(0)+1)
+				p.Unlock(0)
+			}
+			p.Barrier()
+			if got := p.Load(0); got != total {
+				t.Errorf("%v: proc %d sees counter = %d, want %d", k, p.ID(), got, total)
+			}
+		})
+	}
+}
+
+func TestFlagProducerConsumer(t *testing.T) {
+	// Gauss-style: proc 0 produces a row and sets a flag; all others
+	// wait on the flag and read the row.
+	for _, k := range allKinds {
+		c, err := New(testConfig(k, 4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				for i := 0; i < 20; i++ {
+					p.Store(32+i, int64(7*i))
+				}
+				p.SetFlag(0)
+			} else {
+				p.WaitFlag(0)
+				for i := 0; i < 20; i++ {
+					if got := p.Load(32 + i); got != int64(7*i) {
+						t.Errorf("%v: proc %d flag read %d = %d, want %d", k, p.ID(), i, got, 7*i)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExclusiveModeEntryAndBreak(t *testing.T) {
+	// Proc 0 writes a private page repeatedly: under 2L it should enter
+	// exclusive mode (one transition) and take no further faults. Then
+	// a processor on another node reads the page, breaking exclusivity.
+	c, err := New(testConfig(TwoLevel, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < 8; i++ {
+				p.Store(i, int64(i+1)) // all on page 0
+			}
+		}
+		p.Barrier()
+		if p.ID() == 2 { // node 1
+			for i := 0; i < 8; i++ {
+				if got := p.Load(i); got != int64(i+1) {
+					t.Errorf("post-break read %d = %d, want %d", i, got, i+1)
+				}
+			}
+		}
+		p.Barrier()
+	})
+	if res.Counts[stats.ExclTransitions] < 2 {
+		t.Errorf("ExclTransitions = %d, want >= 2 (enter and leave)",
+			res.Counts[stats.ExclTransitions])
+	}
+	if res.Counts[stats.ExplicitRequests] < 1 {
+		t.Errorf("ExplicitRequests = %d, want >= 1", res.Counts[stats.ExplicitRequests])
+	}
+}
+
+func TestExclusivePagesHaveNoCoherenceOverhead(t *testing.T) {
+	// After entering exclusive mode, further writes to the page incur
+	// no faults, twins, flushes, or notices.
+	c, err := New(testConfig(TwoLevel, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(func(p *Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		p.Store(0, 1) // write fault; no other sharer -> exclusive
+		for i := 0; i < 1000; i++ {
+			p.Store(i%16, int64(i))
+		}
+	})
+	if res.Counts[stats.WriteFaults] != 1 {
+		t.Errorf("WriteFaults = %d, want 1", res.Counts[stats.WriteFaults])
+	}
+	if res.Counts[stats.TwinCreations] != 0 {
+		t.Errorf("TwinCreations = %d, want 0 for exclusive page", res.Counts[stats.TwinCreations])
+	}
+	if res.Counts[stats.PageFlushes] != 0 {
+		t.Errorf("PageFlushes = %d, want 0", res.Counts[stats.PageFlushes])
+	}
+}
+
+// interleavedFalseSharing runs a flag-ordered false-sharing scenario on
+// page 0 (words 0, 2, 3 written by different processors of different
+// nodes, with a local writer twinning the page before a stale co-located
+// reader refetches it) and verifies every processor's final view.
+func interleavedFalseSharing(t *testing.T, k Kind) stats.Total {
+	t.Helper()
+	c, err := New(testConfig(k, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(func(p *Proc) {
+		switch p.ID() {
+		case 1: // node 0, proc B: map the page, later refetch it
+			if got := p.Load(1); got != 0 {
+				t.Errorf("B initial read = %d, want 0", got)
+			}
+			p.SetFlag(0)
+			p.WaitFlag(3)
+			if got := p.Load(2); got != 222 {
+				t.Errorf("B sees word 2 = %d, want 222", got)
+			}
+			if got := p.Load(3); got != 333 {
+				t.Errorf("B sees word 3 = %d, want 333", got)
+			}
+			if got := p.Load(0); got != 100 {
+				t.Errorf("B sees word 0 = %d, want 100", got)
+			}
+		case 2: // node 1: two remote writes to the shared page
+			p.WaitFlag(0)
+			p.Lock(0)
+			p.Store(2, 222)
+			p.Unlock(0)
+			p.SetFlag(1)
+			p.WaitFlag(2)
+			p.Lock(0)
+			p.Store(3, 333)
+			p.Unlock(0)
+			p.SetFlag(3)
+		case 0: // node 0, proc A: concurrent local writer (twins page 0)
+			p.WaitFlag(1)
+			p.Lock(1)
+			p.Store(0, 100)
+			p.SetFlag(2)
+			p.Unlock(1)
+		}
+		p.Barrier()
+		for w, want := range map[int]int64{0: 100, 2: 222, 3: 333} {
+			if got := p.Load(w); got != want {
+				t.Errorf("%v: proc %d final word %d = %d, want %d", k, p.ID(), w, got, want)
+			}
+		}
+	})
+	return res.Total
+}
+
+func TestTwoWayDiffingOnFalseSharing(t *testing.T) {
+	// Under 2L, refetching a page that a co-located processor has
+	// twinned must use an incoming diff (two-way diffing), never a
+	// shootdown (Section 2.5).
+	tot := interleavedFalseSharing(t, TwoLevel)
+	if tot.Counts[stats.IncomingDiffs] == 0 {
+		t.Error("2L performed no incoming diffs in the false-sharing scenario")
+	}
+	if tot.Counts[stats.Shootdowns] != 0 {
+		t.Errorf("2L performed %d shootdowns", tot.Counts[stats.Shootdowns])
+	}
+	if tot.Counts[stats.TwinCreations] == 0 {
+		t.Error("no twins created")
+	}
+}
+
+func TestFirstTouchHomeMigration(t *testing.T) {
+	// After EndInit, the first toucher of a page becomes its home; a
+	// page used only by node 1 should migrate there and then be
+	// accessed without transfers.
+	c, err := New(testConfig(TwoLevel, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			// Initialize everything (first-touch disabled during init).
+			for i := 0; i < 16*8; i++ {
+				p.Store(i, int64(i))
+			}
+		}
+		p.EndInit()
+		if p.ID() == 2 { // node 1 adopts pages post-init
+			for i := 0; i < 16*8; i++ {
+				p.Store(i, int64(2*i))
+			}
+		}
+		p.Barrier()
+		if got := p.Load(5); got != 10 {
+			t.Errorf("proc %d sees word 5 = %d, want 10", p.ID(), got)
+		}
+	})
+	if res.Counts[stats.HomeMigrations] == 0 {
+		t.Error("no home migrations recorded")
+	}
+}
+
+func TestShootdownVariantAvoidsIncomingDiffs(t *testing.T) {
+	// Cashmere-2LS must produce the same memory results as 2L on the
+	// same false-sharing scenario, without ever using incoming diffs.
+	tot := interleavedFalseSharing(t, TwoLevelSD)
+	if tot.Counts[stats.IncomingDiffs] != 0 {
+		t.Errorf("2LS performed %d incoming diffs", tot.Counts[stats.IncomingDiffs])
+	}
+}
+
+func TestOneLevelVariantsOnFalseSharing(t *testing.T) {
+	// The one-level protocols handle the identical access pattern with
+	// per-processor protocol nodes; results must match.
+	tot := interleavedFalseSharing(t, OneLevelDiff)
+	if tot.Counts[stats.TwinCreations] == 0 {
+		t.Error("1LD created no twins")
+	}
+	totW := interleavedFalseSharing(t, OneLevelWrite)
+	if totW.Counts[stats.TwinCreations] != 0 {
+		t.Errorf("1L created %d twins", totW.Counts[stats.TwinCreations])
+	}
+}
+
+func TestOneLevelWriteDoubling(t *testing.T) {
+	// 1L must charge write-doubling time and move per-word data.
+	c, err := New(testConfig(OneLevelWrite, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(func(p *Proc) {
+		// Page 50 is in superpage 6, homed round-robin on proto node
+		// 6%4 = 2, so proc 1's writes must be doubled through.
+		const base = 16 * 50
+		if p.ID() == 1 {
+			for i := 0; i < 16; i++ {
+				p.Store(base+i, int64(i))
+			}
+		}
+		p.Barrier()
+		if got := p.Load(base + 7); got != 7 {
+			t.Errorf("proc %d sees %d, want 7", p.ID(), got)
+		}
+	})
+	if res.Time[stats.WriteDoubling] == 0 {
+		t.Error("no write-doubling time charged")
+	}
+	if res.Counts[stats.TwinCreations] != 0 {
+		t.Errorf("1L created %d twins", res.Counts[stats.TwinCreations])
+	}
+}
+
+func TestComputeAndPolling(t *testing.T) {
+	c, err := New(testConfig(TwoLevel, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(func(p *Proc) {
+		p.Compute(1000, 0)
+		p.Compute(500, 1<<20) // with bus traffic
+		p.Poll()
+		p.PollN(10)
+		p.PollN(-1) // no-op
+	})
+	if res.Time[stats.User] < 2*1500 {
+		t.Errorf("User time = %d, want >= 3000", res.Time[stats.User])
+	}
+	if res.Time[stats.Polling] != 2*11*c.model.Poll {
+		t.Errorf("Polling time = %d, want %d", res.Time[stats.Polling], 2*11*c.model.Poll)
+	}
+}
+
+func TestVirtualTimeAdvancesThroughProtocol(t *testing.T) {
+	for _, k := range allKinds {
+		c, err := New(testConfig(k, 2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.Run(func(p *Proc) {
+			p.Store(p.ID(), 1)
+			p.Barrier()
+			p.Load((p.ID() + 1) % 4)
+		})
+		if res.ExecNS <= 0 {
+			t.Errorf("%v: ExecNS = %d", k, res.ExecNS)
+		}
+		for i, f := range res.Finish {
+			if f <= 0 {
+				t.Errorf("%v: proc %d finish = %d", k, i, f)
+			}
+		}
+	}
+}
+
+func TestStatsPerProtocolShape(t *testing.T) {
+	// 2L on a producer/consumer page pattern should transfer fewer
+	// pages than 1LD on the identical program, thanks to intra-node
+	// coalescing of fetches.
+	run := func(k Kind) stats.Total {
+		c, err := New(testConfig(k, 4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				for i := 0; i < 16*8; i++ { // 8 pages
+					p.Store(i, int64(i))
+				}
+			}
+			p.Barrier()
+			sum := int64(0)
+			for i := 0; i < 16*8; i++ {
+				sum += p.Load(i)
+			}
+			p.Barrier()
+			_ = sum
+		})
+		return res.Total
+	}
+	twoL := run(TwoLevel)
+	oneL := run(OneLevelDiff)
+	if twoL.Counts[stats.PageTransfers] >= oneL.Counts[stats.PageTransfers] {
+		t.Errorf("2L transfers (%d) not fewer than 1LD (%d)",
+			twoL.Counts[stats.PageTransfers], oneL.Counts[stats.PageTransfers])
+	}
+	if twoL.DataBytes >= oneL.DataBytes {
+		t.Errorf("2L data (%d) not less than 1LD (%d)", twoL.DataBytes, oneL.DataBytes)
+	}
+}
+
+func TestHomeOptReducesOneLevelOverhead(t *testing.T) {
+	// With the home-node optimization, processors co-located with the
+	// home skip twin maintenance for those pages.
+	run := func(homeOpt bool) stats.Total {
+		cfg := testConfig(OneLevelDiff, 2, 4)
+		cfg.HomeOpt = homeOpt
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := c.Run(func(p *Proc) {
+			// All procs write disjoint words of the same few pages.
+			for i := 0; i < 8; i++ {
+				p.Store(i*16+p.ID(), int64(p.ID()))
+			}
+			p.Barrier()
+			for i := 0; i < 8; i++ {
+				if got := p.Load(i*16 + (p.ID()+1)%8); got != int64((p.ID()+1)%8) {
+					t.Errorf("homeOpt=%v: bad read %d", homeOpt, got)
+					return
+				}
+			}
+			p.Barrier()
+		})
+		return res.Total
+	}
+	with := run(true)
+	without := run(false)
+	if with.Counts[stats.TwinCreations] >= without.Counts[stats.TwinCreations] {
+		t.Errorf("home-opt twins (%d) not fewer than base (%d)",
+			with.Counts[stats.TwinCreations], without.Counts[stats.TwinCreations])
+	}
+}
+
+func TestLockBasedMetaSameResults(t *testing.T) {
+	// The lock-based ablation must produce identical memory results,
+	// only different timing.
+	cfg := testConfig(TwoLevel, 2, 2)
+	cfg.LockBasedMeta = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(p *Proc) {
+		p.Store(p.ID(), int64(p.ID()+50))
+		p.Barrier()
+		for i := 0; i < 4; i++ {
+			if got := p.Load(i); got != int64(i+50) {
+				t.Errorf("lock-based: proc %d sees %d, want %d", p.ID(), got, i+50)
+				return
+			}
+		}
+	})
+}
+
+func TestInterruptCostVariant(t *testing.T) {
+	cfg := testConfig(TwoLevelSD, 2, 2)
+	cfg.UseInterrupts = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(func(p *Proc) {
+		p.Store(p.ID(), 1)
+		p.Barrier()
+		p.Load((p.ID() + 2) % 4)
+		p.Barrier()
+	})
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"cashmere/internal/diff"
+	"cashmere/internal/directory"
+	"cashmere/internal/stats"
+)
+
+// Page fault handling (paper Section 2.4.1).
+//
+// The access fast path consults the processor's software page table; a
+// missing permission lands here. A read fault maps the page, fetching a
+// fresh copy from the home node when the local copy is missing or stale
+// (its update timestamp precedes both its write-notice timestamp and the
+// processor's acquire timestamp). A write fault additionally creates a
+// twin and a dirty-list entry when other nodes share the page, or moves
+// the page into exclusive mode when they don't.
+
+// readFault services a read access violation on page.
+func (p *Proc) readFault(page int) {
+	p.trace(page, "readFault")
+	p.st.Inc(stats.ReadFaults)
+	p.chargeProtocol(p.c.model.PageFault)
+	p.drainDoubled()
+	p.maybeFirstTouch(page)
+
+	for {
+		if p.maybeBreakExclusive(page) {
+			continue
+		}
+		n := p.n
+		n.mu.Lock()
+		if p.table.CanRead(page) {
+			n.mu.Unlock()
+			return // resolved by a concurrent local fault
+		}
+		if !p.ensureCurrentLocked(page) {
+			n.mu.Unlock()
+			continue // raced with a new exclusive holder
+		}
+		wasInvalid := n.vm.Loosest(page) == directory.Invalid
+		p.table.Set(page, directory.ReadOnly)
+		p.chargeProtocol(p.c.model.MProtect)
+		if wasInvalid {
+			excl := -1
+			if e, ok := p.ownWord(page).Excl(); ok {
+				excl = e
+			}
+			p.publishOwnWord(page, excl)
+		}
+		n.mu.Unlock()
+		return
+	}
+}
+
+// writeFault services a write access violation on page.
+func (p *Proc) writeFault(page int) {
+	p.trace(page, "writeFault")
+	p.st.Inc(stats.WriteFaults)
+	p.chargeProtocol(p.c.model.PageFault)
+	p.drainDoubled()
+	p.maybeFirstTouch(page)
+
+	for {
+		if p.maybeBreakExclusive(page) {
+			continue
+		}
+		n := p.n
+		n.mu.Lock()
+		if p.table.CanWrite(page) {
+			n.mu.Unlock()
+			return
+		}
+		if !p.ensureCurrentLocked(page) {
+			n.mu.Unlock()
+			continue
+		}
+
+		own := p.ownWord(page)
+		_, alreadyExcl := own.Excl()
+
+		switch {
+		case alreadyExcl:
+			// Another local processor holds the page exclusively;
+			// intra-node hardware coherence lets us join for free.
+			p.table.Set(page, directory.ReadWrite)
+			p.chargeProtocol(p.c.model.MProtect)
+
+		case p.c.cfg.Protocol.TwoLevelFamily() && p.c.dir.Sharers(n.id, page, n.id) == 0:
+			// No other node is sharing: enter exclusive mode. The
+			// page incurs no further coherence overhead — no twin,
+			// no dirty-list entry, no flushes or notices — until
+			// another node breaks it out (Section 2.4.1).
+			p.trace(page, "enter exclusive")
+			n.twins[page] = nil // exclusive pages have no twin
+			p.table.Set(page, directory.ReadWrite)
+			p.chargeProtocol(p.c.model.MProtect)
+			p.st.Inc(stats.ExclTransitions)
+			p.publishOwnWord(page, p.global)
+
+		default:
+			// Actively shared: track modifications for the next
+			// release.
+			p.markDirty(page)
+			if p.needsTwin(page) && n.twins[page] == nil {
+				frame := *n.frames[page].p.Load()
+				n.twins[page] = diff.Twin(frame)
+				p.st.Inc(stats.TwinCreations)
+				p.chargeProtocol(p.c.model.Twin)
+			}
+			wasLoosest := n.vm.Loosest(page)
+			p.table.Set(page, directory.ReadWrite)
+			p.chargeProtocol(p.c.model.MProtect)
+			if wasLoosest != directory.ReadWrite {
+				p.publishOwnWord(page, -1)
+			}
+		}
+		n.mu.Unlock()
+		return
+	}
+}
+
+// needsTwin reports whether p's node maintains a twin for a shared,
+// writable page: yes except when the frame aliases the master copy
+// (home node, or a home-opt alias — writes land in the master directly)
+// and except under the write-doubling protocol, which propagates writes
+// eagerly instead. Must be called after ensureCurrentLocked has settled
+// the frame's aliasing.
+func (p *Proc) needsTwin(page int) bool {
+	if p.c.cfg.Protocol == OneLevelWrite {
+		return false
+	}
+	return !p.n.frames[page].aliased.Load()
+}
+
+// ensureCurrentLocked makes the node's copy of page resident and
+// current, fetching from the home node if necessary. It must be called
+// with p.n.mu held. It returns false if the caller must retry because an
+// exclusive holder elsewhere was discovered.
+func (p *Proc) ensureCurrentLocked(page int) bool {
+	c := p.c
+	n := p.n
+
+	if holder, _, ok := c.dir.ExclHolder(n.id, page); ok && holder != n.id {
+		return false
+	}
+
+	homeProto, _ := c.homeOf(page)
+	slot := &n.frames[page]
+	meta := &n.meta[page]
+
+	if p.isHomeLike(homeProto) {
+		if slot.aliased.Load() {
+			return true // already working on the master copy
+		}
+		f := slot.p.Load()
+		// A home-like node normally maps the master copy directly. A
+		// private frame can exist here only transiently, after a
+		// first-touch relocation made us home: adopt the master once no
+		// local writer is still working on the private frame (the
+		// aliased bit, not home identity, drives flush and notice
+		// decisions, so falling through to the diff-based path below
+		// stays correct in the interim).
+		if f == nil || len(n.vm.Writers(page, nil)) == 0 {
+			// Preserve any data the private frame holds that the
+			// master lacks before adopting the master copy.
+			if f != nil {
+				if _, excl := p.ownWord(page).Excl(); excl {
+					p.trace(page, "alias: flushing exclusive frame")
+					diff.Copy(c.masters[page], *f)
+				} else if tw := n.twins[page]; tw != nil {
+					p.trace(page, "alias: flush-update private frame")
+					diff.FlushUpdate(*f, tw, c.masters[page])
+				}
+			}
+			p.trace(page, "alias master (home=%d)", homeProto)
+			m := c.masters[page]
+			slot.p.Store(&m)
+			slot.aliased.Store(true)
+			n.twins[page] = nil
+			meta.updateTS = n.lclock.Tick()
+			return true
+		}
+	}
+	if slot.aliased.Load() {
+		// We used to be home (before a first-touch relocation moved
+		// it); drop the alias and refetch as an ordinary sharer.
+		slot.p.Store(nil)
+		slot.aliased.Store(false)
+		n.twins[page] = nil
+	}
+
+	frame := slot.p.Load()
+	wnOrAcq := meta.wnTS
+	if p.acquireTS < wnOrAcq {
+		wnOrAcq = p.acquireTS
+	}
+	switch {
+	case frame == nil:
+		p.trace(page, "fresh fetch (home=%d)", homeProto)
+		f := make([]int64, c.cfg.PageWords)
+		p.fetchPage(page, homeProto)
+		diff.Copy(f, c.masters[page])
+		slot.p.Store(&f)
+		meta.updateTS = n.lclock.Tick()
+	case meta.updateTS < wnOrAcq:
+		p.trace(page, "refetch: updTS=%d wnTS=%d acqTS=%d", meta.updateTS, meta.wnTS, p.acquireTS)
+		p.fetchPage(page, homeProto)
+		p.applyUpdate(page, *frame)
+		meta.updateTS = n.lclock.Tick()
+	}
+	return true
+}
+
+// fetchPage charges a page transfer from the home node: the fixed
+// minimum transfer cost (Table 1) and the network occupancy of the page
+// data, whichever completes later.
+func (p *Proc) fetchPage(page, homeProto int) {
+	c := p.c
+	physHome := c.physOfProto(homeProto)
+	local := physHome == p.n.phys
+	pageBytes := int64(c.cfg.PageWords) * memchanWordBytes
+
+	p.st.Inc(stats.PageTransfers)
+	p.st.Data(pageBytes)
+
+	fixed := c.model.PageTransfer(local, c.cfg.Protocol.TwoLevelFamily())
+	if c.cfg.UseInterrupts {
+		if local {
+			fixed += c.model.IntraNodeInterrupt
+		} else {
+			fixed += c.model.InterNodeInterrupt
+		}
+	}
+	arrival := c.net.Transfer(physHome, pageBytes, p.clk.Now())
+	target := p.clk.Now() + fixed
+	if arrival > target {
+		target = arrival
+	}
+	p.chargeWait(target)
+}
+
+// applyUpdate merges freshly fetched master data into an existing local
+// frame. With no concurrent local writers it is a plain copy. With
+// concurrent writers, Cashmere-2L applies an incoming diff against the
+// twin (two-way diffing, Section 2.5), while Cashmere-2LS shoots the
+// writers down, flushes their outstanding changes, and discards the twin
+// (Section 2.6). Called with p.n.mu held.
+func (p *Proc) applyUpdate(page int, frame []int64) {
+	c := p.c
+	n := p.n
+	twin := n.twins[page]
+	master := c.masters[page]
+
+	if twin == nil {
+		diff.Copy(frame, master)
+		return
+	}
+
+	if c.cfg.Protocol == TwoLevelSD {
+		// Shootdown: revoke concurrent local write mappings, flush
+		// their outstanding modifications to the home, and drop the
+		// twin; writers re-twin at their next write fault. (The real
+		// system halts the writers with an interrupt or poll-detected
+		// message; a goroutine cannot be halted mid-store, so the
+		// update is applied as remote-only differences — the same
+		// memory outcome — while the full page-copy cost is charged.)
+		writers := n.vm.Writers(page, nil)
+		cost := c.model.ShootdownPoll
+		if c.cfg.UseInterrupts {
+			cost = c.model.ShootdownInterrupt
+		}
+		for _, w := range writers {
+			if w == p.local {
+				continue
+			}
+			n.vm.Proc(w).Set(page, directory.ReadOnly)
+			p.st.Inc(stats.Shootdowns)
+			p.chargeProtocol(cost)
+		}
+		changed := diff.Outgoing(frame, twin, master)
+		if changed > 0 {
+			p.flushBytes(page, changed)
+		}
+		diff.Incoming(frame, twin, master)
+		n.twins[page] = nil
+		n.meta[page].flushTS = n.lclock.Tick()
+		return
+	}
+
+	p.trace(page, "incoming diff")
+	// Two-way diffing: apply only the remote modifications, to both the
+	// working page and the twin, with no intra-node synchronization.
+	changed := diff.Incoming(frame, twin, master)
+	p.st.Inc(stats.IncomingDiffs)
+	p.chargeProtocol(c.model.IncomingDiff(changed, c.cfg.PageWords))
+}
+
+// flushBytes accounts for changed words of diff data flowing from p's
+// node to page's home: protocol cost for the diff, plus network
+// occupancy.
+func (p *Proc) flushBytes(page, changedWords int) {
+	c := p.c
+	homeProto, _ := c.homeOf(page)
+	physHome := c.physOfProto(homeProto)
+	localDiff := physHome == p.n.phys
+	bytes := int64(changedWords) * memchanWordBytes
+
+	p.chargeProtocol(c.model.OutgoingDiff(changedWords, c.cfg.PageWords, localDiff))
+	p.st.Data(bytes)
+	arrival := c.net.Transfer(p.n.phys, bytes, p.clk.Now())
+	p.chargeWait(arrival)
+}

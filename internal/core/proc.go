@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"cashmere/internal/memchan"
+	"cashmere/internal/sim"
+	"cashmere/internal/stats"
+	"cashmere/internal/vm"
+	"cashmere/internal/wnotice"
+)
+
+// framePtr atomically publishes a page frame to the access fast path.
+type framePtr = atomic.Pointer[[]int64]
+
+// memchanWordBytes is the accounting size of one shared word.
+const memchanWordBytes = memchan.WordBytes
+
+// Proc is the handle a simulated processor's goroutine uses to access
+// shared memory, synchronize, and account for computation. A Proc is
+// owned by exactly one goroutine.
+type Proc struct {
+	c      *Cluster
+	n      *node
+	global int // global processor id
+	local  int // index within the protocol node
+
+	table *vm.Table
+
+	clk sim.Clock
+	st  stats.Proc
+
+	// dirty is the processor's private dirty list: shared pages written
+	// since its last release. dirtyIn mirrors membership.
+	dirty   []int
+	dirtyIn []bool
+
+	// nle is the no-longer-exclusive list (writable by other local
+	// processors); pwn is the per-processor write notice list.
+	nle *wnotice.PerProc
+	pwn *wnotice.PerProc
+
+	// acquireTS is the logical time of this processor's last acquire.
+	acquireTS int64
+
+	// doubledBytes accumulates 1L write-through traffic between
+	// protocol operations, then drains onto the network for contention
+	// accounting.
+	doubledBytes int64
+}
+
+// ID returns the processor's global id.
+func (p *Proc) ID() int { return p.global }
+
+// NProcs returns the total number of processors in the cluster.
+func (p *Proc) NProcs() int { return len(p.c.procs) }
+
+// NodeID returns the physical node hosting the processor.
+func (p *Proc) NodeID() int { return p.n.phys }
+
+// Now returns the processor's virtual clock in nanoseconds.
+func (p *Proc) Now() int64 { return p.clk.Now() }
+
+// Words returns the size of the shared address space in words.
+func (p *Proc) Words() int { return p.c.cfg.SharedWords }
+
+// PageWords returns the coherence block size in words.
+func (p *Proc) PageWords() int { return p.c.cfg.PageWords }
+
+// Stats returns a snapshot of the processor's statistics.
+func (p *Proc) Stats() stats.Proc { return p.st }
+
+// Load reads the shared word at addr.
+func (p *Proc) Load(addr int) int64 {
+	page := addr / p.c.cfg.PageWords
+	for !p.table.CanRead(page) {
+		p.readFault(page)
+	}
+	f := *p.n.frames[page].p.Load()
+	return atomic.LoadInt64(&f[addr%p.c.cfg.PageWords])
+}
+
+// Store writes the shared word at addr.
+func (p *Proc) Store(addr int, v int64) {
+	page := addr / p.c.cfg.PageWords
+	for !p.table.CanWrite(page) {
+		p.writeFault(page)
+	}
+	slot := &p.n.frames[page]
+	f := *slot.p.Load()
+	atomic.StoreInt64(&f[addr%p.c.cfg.PageWords], v)
+	if p.c.cfg.Protocol == OneLevelWrite && !slot.aliased.Load() {
+		// Write doubling: propagate the word to the home copy on the
+		// fly (Section 2.6). The network occupancy is accumulated and
+		// charged at the next protocol operation.
+		atomic.StoreInt64(&p.c.masters[page][addr%p.c.cfg.PageWords], v)
+		p.clk.Advance(p.c.model.WriteDouble)
+		p.st.Charge(stats.WriteDoubling, p.c.model.WriteDouble)
+		p.doubledBytes += memchanWordBytes
+		p.st.Data(memchanWordBytes)
+	}
+}
+
+// LoadF reads the shared word at addr as a float64.
+func (p *Proc) LoadF(addr int) float64 {
+	return math.Float64frombits(uint64(p.Load(addr)))
+}
+
+// StoreF writes the shared word at addr as a float64.
+func (p *Proc) StoreF(addr int, v float64) {
+	p.Store(addr, int64(math.Float64bits(v)))
+}
+
+// Compute charges ns nanoseconds of user computation and busBytes of
+// memory traffic on the node's shared bus (capacity misses). Bus
+// contention stalls — every processor of the SMP node sharing the one
+// memory bus, the source of the paper's negative clustering effects —
+// are charged to user time, as the paper's breakdown does with cache
+// misses.
+func (p *Proc) Compute(ns int64, busBytes int64) {
+	stall := sim.Stall(ns, busBytes, int64(p.c.cfg.ProcsPerNode), p.c.model.NodeBusBandwidth)
+	p.clk.Advance(ns + stall)
+	p.st.Charge(stats.User, ns+stall)
+}
+
+// Poll charges one message-poll check (inserted at loop heads by the
+// instrumentation pass in the real system).
+func (p *Proc) Poll() {
+	p.clk.Advance(p.c.model.Poll)
+	p.st.Charge(stats.Polling, p.c.model.Poll)
+}
+
+// PollN charges n message-poll checks at once.
+func (p *Proc) PollN(n int64) {
+	if n <= 0 {
+		return
+	}
+	d := n * p.c.model.Poll
+	p.clk.Advance(d)
+	p.st.Charge(stats.Polling, d)
+}
+
+// drainDoubled charges any accumulated write-through traffic onto the
+// network so concurrent 1L writers contend for Memory Channel bandwidth.
+func (p *Proc) drainDoubled() {
+	if p.doubledBytes == 0 {
+		return
+	}
+	done := p.c.net.Transfer(p.n.phys, p.doubledBytes, p.clk.Now())
+	p.doubledBytes = 0
+	if wait := p.clk.AdvanceTo(done); wait > 0 {
+		p.st.Charge(stats.CommWait, wait)
+	}
+}
+
+// markDirty inserts page into the private dirty list.
+func (p *Proc) markDirty(page int) {
+	if !p.dirtyIn[page] {
+		p.dirtyIn[page] = true
+		p.dirty = append(p.dirty, page)
+	}
+}
+
+// clearDirty empties the dirty list.
+func (p *Proc) clearDirty() {
+	for _, page := range p.dirty {
+		p.dirtyIn[page] = false
+	}
+	p.dirty = p.dirty[:0]
+}
+
+// chargeProtocol advances the clock by ns of protocol work. Protocol
+// time during the initialization epoch (before EndInit) is not charged:
+// the paper's runs are long enough to amortize initialization, while a
+// scaled-down problem would be dominated by it.
+func (p *Proc) chargeProtocol(ns int64) {
+	if !p.c.charging.Load() {
+		return
+	}
+	p.clk.Advance(ns)
+	p.st.Charge(stats.Protocol, ns)
+}
+
+// chargeWait advances the clock to t, charging the skipped time as
+// communication/wait. Like chargeProtocol, it is free during the
+// initialization epoch.
+func (p *Proc) chargeWait(t int64) {
+	if !p.c.charging.Load() {
+		return
+	}
+	if w := p.clk.AdvanceTo(t); w > 0 {
+		p.st.Charge(stats.CommWait, w)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Protocol event tracing, enabled by setting CASHMERE_TRACE_PAGE to a
+// page number: every protocol transition touching that page is logged
+// to stderr. Zero overhead when disabled (a single nil check).
+
+var (
+	traceMu   sync.Mutex
+	tracePage = -1
+)
+
+func init() {
+	if v, ok := os.LookupEnv("CASHMERE_TRACE_PAGE"); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			tracePage = n
+		}
+	}
+}
+
+// trace logs a protocol event for page when tracing is enabled.
+func (p *Proc) trace(page int, format string, args ...any) {
+	if tracePage < 0 || page != tracePage {
+		return
+	}
+	traceMu.Lock()
+	fmt.Fprintf(os.Stderr, "[p%d n%d pg%d] %s\n",
+		p.global, p.n.id, page, fmt.Sprintf(format, args...))
+	traceMu.Unlock()
+}

@@ -1,0 +1,261 @@
+// Package costs defines the timing model of the simulated Cashmere-2L
+// platform: an 8-node cluster of 4-processor DEC AlphaServer 2100 4/233
+// machines connected by a first-generation Memory Channel.
+//
+// Every constant is taken from Section 3.1 and Table 1 of the SOSP '97
+// paper. Protocol code never hard-codes a latency; it always consults a
+// Model, so alternative platforms (slower interrupts, larger SMPs, faster
+// networks) can be explored by constructing a different Model.
+package costs
+
+import "time"
+
+// Model holds every cost parameter of the simulated platform. All durations
+// are in nanoseconds of simulated (virtual) time.
+type Model struct {
+	// MCWriteLatency is the process-to-process latency of a single
+	// remote write on the Memory Channel (5.2 us on the paper's
+	// AlphaServer 2100 cluster).
+	MCWriteLatency int64
+
+	// MCLinkBandwidth is the sustainable per-link transfer bandwidth in
+	// bytes per second (29 MB/s, limited by the 32-bit PCI bus).
+	MCLinkBandwidth int64
+
+	// MCAggregateBandwidth is the peak aggregate Memory Channel
+	// bandwidth in bytes per second (about 60 MB/s). The Memory Channel
+	// is a serial global interconnect (a bus); transfers from all nodes
+	// contend for this.
+	MCAggregateBandwidth int64
+
+	// NodeBusBandwidth is the shared memory-bus bandwidth of one SMP
+	// node in bytes per second. Capacity-miss traffic from all
+	// processors of a node contends for it; this is what makes SOR and
+	// Gauss degrade as the degree of clustering grows (paper Section
+	// 3.3.3).
+	NodeBusBandwidth int64
+
+	// MProtect is the cost of a memory protection change (55 us).
+	MProtect int64
+
+	// PageFault is the kernel overhead of a fault on an
+	// already-resident page (72 us).
+	PageFault int64
+
+	// Twin is the cost of twinning an 8 Kbyte page (199 us).
+	Twin int64
+
+	// Diff costs vary with the size of the diff; the paper reports the
+	// observed ranges. Cost is interpolated linearly between Min (empty
+	// diff) and Max (whole page differs).
+	OutgoingDiffLocalMin, OutgoingDiffLocalMax   int64 // home node local: 340-561 us
+	OutgoingDiffRemoteMin, OutgoingDiffRemoteMax int64 // home node remote: 290-363 us
+	IncomingDiffMin, IncomingDiffMax             int64 // two-way diffing: 533-541 us
+
+	// DirectoryUpdate is the cost of modifying a directory entry
+	// without locking (5 us); DirectoryUpdateLocked is the cost when a
+	// global lock must be acquired and released around the update
+	// (16 us, i.e. 11 us of locking).
+	DirectoryUpdate       int64
+	DirectoryUpdateLocked int64
+
+	// GlobalLock is the cost of acquiring and releasing an uncontended
+	// Memory-Channel global lock (11 us; used at the application level
+	// and for home-node relocation).
+	GlobalLock int64
+
+	// LockAcquire2L and LockAcquire1L are the application-level lock
+	// acquire latencies of the two-level and one-level implementations
+	// (19 us and 11 us, Table 1). The two-level implementation pays for
+	// the extra intra-node ll/sc round.
+	LockAcquire2L int64
+	LockAcquire1L int64
+
+	// Barrier costs from Table 1: two-processor and 32-processor
+	// barriers for the two-level and one-level implementations.
+	Barrier2Proc2L  int64 // 58 us
+	Barrier32Proc2L int64 // 321 us
+	Barrier2Proc1L  int64 // 41 us
+	Barrier32Proc1L int64 // 364 us
+
+	// PageTransferLocal is the minimum cost of transferring a page
+	// between two processors on the same physical node (467 us);
+	// PageTransferRemote2L and PageTransferRemote1L are the remote
+	// transfer costs under the two-level (824 us) and one-level
+	// (777 us) protocols. The one-level remote transfer is slightly
+	// cheaper because its request path is simpler.
+	PageTransferLocal    int64
+	PageTransferRemote2L int64
+	PageTransferRemote1L int64
+
+	// Poll is the cost of one polling check (ldq/beq at a loop head,
+	// roughly three issue slots on the 233 MHz 21064A).
+	Poll int64
+
+	// WriteDouble is the per-word computational cost of "doubling" a
+	// shared write under the 1L write-through protocol (the extra
+	// inline store plus write-buffer pressure). The Memory Channel
+	// occupancy of the doubled word is charged separately through the
+	// bus model.
+	WriteDouble int64
+
+	// Interrupt delivery costs after the paper's kernel modifications:
+	// 80 us intra-node and 445 us inter-node. With the stock kernel
+	// both cost 980 us.
+	IntraNodeInterrupt int64
+	InterNodeInterrupt int64
+	StockInterrupt     int64
+
+	// ShootdownPoll and ShootdownInterrupt are the per-processor costs
+	// of a TLB-shootdown-equivalent under polling-based messaging
+	// (72 us) and interrupt-based messaging (142 us), Section 3.3.4.
+	ShootdownPoll      int64
+	ShootdownInterrupt int64
+
+	// ExplicitRequest is the fixed overhead of sending an explicit
+	// inter-node request and having it noticed by a polling processor
+	// (request write + poll detection + handler entry). Page transfer
+	// costs above already include it; it is charged alone for
+	// exclusive-mode break requests.
+	ExplicitRequest int64
+
+	// LLSC is the cost of an intra-node load-linked/store-conditional
+	// protected operation (local locks on write-notice lists and
+	// timestamps).
+	LLSC int64
+}
+
+const us = int64(time.Microsecond)
+
+// Default returns the timing model of the paper's platform: eight
+// 4-processor AlphaServer 2100 4/233 nodes on a first-generation Memory
+// Channel, with the polling-based messaging layer.
+func Default() Model {
+	return Model{
+		MCWriteLatency:       5200, // 5.2 us
+		MCLinkBandwidth:      29 << 20,
+		MCAggregateBandwidth: 60 << 20,
+		NodeBusBandwidth:     400 << 20,
+
+		MProtect:  55 * us,
+		PageFault: 72 * us,
+		Twin:      199 * us,
+
+		OutgoingDiffLocalMin:  340 * us,
+		OutgoingDiffLocalMax:  561 * us,
+		OutgoingDiffRemoteMin: 290 * us,
+		OutgoingDiffRemoteMax: 363 * us,
+		IncomingDiffMin:       533 * us,
+		IncomingDiffMax:       541 * us,
+
+		DirectoryUpdate:       5 * us,
+		DirectoryUpdateLocked: 16 * us,
+		GlobalLock:            11 * us,
+
+		LockAcquire2L: 19 * us,
+		LockAcquire1L: 11 * us,
+
+		Barrier2Proc2L:  58 * us,
+		Barrier32Proc2L: 321 * us,
+		Barrier2Proc1L:  41 * us,
+		Barrier32Proc1L: 364 * us,
+
+		PageTransferLocal:    467 * us,
+		PageTransferRemote2L: 824 * us,
+		PageTransferRemote1L: 777 * us,
+
+		Poll:        13, // ~3 issue slots at 233 MHz
+		WriteDouble: 150,
+
+		IntraNodeInterrupt: 80 * us,
+		InterNodeInterrupt: 445 * us,
+		StockInterrupt:     980 * us,
+
+		ShootdownPoll:      72 * us,
+		ShootdownInterrupt: 142 * us,
+
+		ExplicitRequest: 30 * us,
+		LLSC:            1 * us / 2,
+	}
+}
+
+// interp linearly interpolates between min and max according to the
+// fraction changed/total. A zero total yields min.
+func interp(min, max, changed, total int64) int64 {
+	if total <= 0 || changed <= 0 {
+		return min
+	}
+	if changed > total {
+		changed = total
+	}
+	return min + (max-min)*changed/total
+}
+
+// OutgoingDiff returns the cost of creating and applying an outgoing diff
+// covering changedWords of a pageWords-word page. local selects the
+// home-node-local cost range (only applicable to one-level protocols,
+// where the home copy is in cacheable local memory rather than I/O space).
+func (m Model) OutgoingDiff(changedWords, pageWords int, local bool) int64 {
+	if local {
+		return interp(m.OutgoingDiffLocalMin, m.OutgoingDiffLocalMax, int64(changedWords), int64(pageWords))
+	}
+	return interp(m.OutgoingDiffRemoteMin, m.OutgoingDiffRemoteMax, int64(changedWords), int64(pageWords))
+}
+
+// IncomingDiff returns the cost of a two-way (incoming) diff application
+// covering changedWords of a pageWords-word page. The range is narrow
+// (533-541 us) because the comparison of the full page dominates.
+func (m Model) IncomingDiff(changedWords, pageWords int) int64 {
+	return interp(m.IncomingDiffMin, m.IncomingDiffMax, int64(changedWords), int64(pageWords))
+}
+
+// PageTransfer returns the minimum page-transfer cost between the
+// requesting processor and the holder. local indicates both are on the
+// same physical node; twoLevel selects the protocol family's request
+// path.
+func (m Model) PageTransfer(local, twoLevel bool) int64 {
+	switch {
+	case local:
+		return m.PageTransferLocal
+	case twoLevel:
+		return m.PageTransferRemote2L
+	default:
+		return m.PageTransferRemote1L
+	}
+}
+
+// Barrier returns the application barrier cost for n participating
+// processors, interpolating between the measured 2-processor and
+// 32-processor costs (Table 1).
+func (m Model) Barrier(n int, twoLevel bool) int64 {
+	lo, hi := m.Barrier2Proc1L, m.Barrier32Proc1L
+	if twoLevel {
+		lo, hi = m.Barrier2Proc2L, m.Barrier32Proc2L
+	}
+	if n <= 2 {
+		return lo
+	}
+	if n >= 32 {
+		return hi
+	}
+	return lo + (hi-lo)*int64(n-2)/30
+}
+
+// LockAcquire returns the uncontended application lock acquire cost for
+// the protocol family.
+func (m Model) LockAcquire(twoLevel bool) int64 {
+	if twoLevel {
+		return m.LockAcquire2L
+	}
+	return m.LockAcquire1L
+}
+
+// Occupancy returns the time a transfer of n bytes occupies a resource of
+// the given bandwidth (bytes/second).
+func Occupancy(n int64, bandwidth int64) int64 {
+	if bandwidth <= 0 || n <= 0 {
+		return 0
+	}
+	// n bytes at bandwidth B/s takes n/B seconds = n*1e9/B ns.
+	return n * int64(time.Second) / bandwidth
+}

@@ -1,0 +1,201 @@
+package costs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultMatchesPaperTable1(t *testing.T) {
+	m := Default()
+	us := int64(time.Microsecond)
+	cases := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"MCWriteLatency", m.MCWriteLatency, 5200},
+		{"MProtect", m.MProtect, 55 * us},
+		{"PageFault", m.PageFault, 72 * us},
+		{"Twin", m.Twin, 199 * us},
+		{"DirectoryUpdate", m.DirectoryUpdate, 5 * us},
+		{"DirectoryUpdateLocked", m.DirectoryUpdateLocked, 16 * us},
+		{"GlobalLock", m.GlobalLock, 11 * us},
+		{"LockAcquire2L", m.LockAcquire2L, 19 * us},
+		{"LockAcquire1L", m.LockAcquire1L, 11 * us},
+		{"Barrier2Proc2L", m.Barrier2Proc2L, 58 * us},
+		{"Barrier32Proc2L", m.Barrier32Proc2L, 321 * us},
+		{"Barrier2Proc1L", m.Barrier2Proc1L, 41 * us},
+		{"Barrier32Proc1L", m.Barrier32Proc1L, 364 * us},
+		{"PageTransferLocal", m.PageTransferLocal, 467 * us},
+		{"PageTransferRemote2L", m.PageTransferRemote2L, 824 * us},
+		{"PageTransferRemote1L", m.PageTransferRemote1L, 777 * us},
+		{"ShootdownPoll", m.ShootdownPoll, 72 * us},
+		{"ShootdownInterrupt", m.ShootdownInterrupt, 142 * us},
+		{"IntraNodeInterrupt", m.IntraNodeInterrupt, 80 * us},
+		{"InterNodeInterrupt", m.InterNodeInterrupt, 445 * us},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestOutgoingDiffRanges(t *testing.T) {
+	m := Default()
+	const pw = 1024
+	if got := m.OutgoingDiff(0, pw, true); got != m.OutgoingDiffLocalMin {
+		t.Errorf("empty local diff = %d, want min %d", got, m.OutgoingDiffLocalMin)
+	}
+	if got := m.OutgoingDiff(pw, pw, true); got != m.OutgoingDiffLocalMax {
+		t.Errorf("full local diff = %d, want max %d", got, m.OutgoingDiffLocalMax)
+	}
+	if got := m.OutgoingDiff(0, pw, false); got != m.OutgoingDiffRemoteMin {
+		t.Errorf("empty remote diff = %d, want min %d", got, m.OutgoingDiffRemoteMin)
+	}
+	if got := m.OutgoingDiff(pw, pw, false); got != m.OutgoingDiffRemoteMax {
+		t.Errorf("full remote diff = %d, want max %d", got, m.OutgoingDiffRemoteMax)
+	}
+	half := m.OutgoingDiff(pw/2, pw, false)
+	if half <= m.OutgoingDiffRemoteMin || half >= m.OutgoingDiffRemoteMax {
+		t.Errorf("half remote diff %d not strictly inside (%d,%d)",
+			half, m.OutgoingDiffRemoteMin, m.OutgoingDiffRemoteMax)
+	}
+}
+
+func TestIncomingDiffRange(t *testing.T) {
+	m := Default()
+	const pw = 1024
+	for changed := 0; changed <= pw; changed += pw / 8 {
+		got := m.IncomingDiff(changed, pw)
+		if got < m.IncomingDiffMin || got > m.IncomingDiffMax {
+			t.Errorf("IncomingDiff(%d) = %d outside [%d,%d]",
+				changed, got, m.IncomingDiffMin, m.IncomingDiffMax)
+		}
+	}
+}
+
+func TestIncomingDiffCostsMoreThanOutgoing(t *testing.T) {
+	// Section 3.1: "An incoming diff operation applies changes to both
+	// the twin and the page and therefore incurs additional cost above
+	// the outgoing diff."
+	m := Default()
+	const pw = 1024
+	for changed := 0; changed <= pw; changed += 64 {
+		in := m.IncomingDiff(changed, pw)
+		out := m.OutgoingDiff(changed, pw, false)
+		if in <= out {
+			t.Fatalf("IncomingDiff(%d)=%d not greater than OutgoingDiff=%d", changed, in, out)
+		}
+	}
+}
+
+func TestInterpClamping(t *testing.T) {
+	if got := interp(10, 20, 50, 10); got != 20 {
+		t.Errorf("interp clamps changed to total: got %d, want 20", got)
+	}
+	if got := interp(10, 20, -3, 10); got != 10 {
+		t.Errorf("interp with negative changed: got %d, want 10", got)
+	}
+	if got := interp(10, 20, 5, 0); got != 10 {
+		t.Errorf("interp with zero total: got %d, want 10", got)
+	}
+}
+
+func TestPageTransfer(t *testing.T) {
+	m := Default()
+	if got := m.PageTransfer(true, true); got != m.PageTransferLocal {
+		t.Errorf("local 2L = %d, want %d", got, m.PageTransferLocal)
+	}
+	if got := m.PageTransfer(true, false); got != m.PageTransferLocal {
+		t.Errorf("local 1L = %d, want %d", got, m.PageTransferLocal)
+	}
+	if got := m.PageTransfer(false, true); got != m.PageTransferRemote2L {
+		t.Errorf("remote 2L = %d, want %d", got, m.PageTransferRemote2L)
+	}
+	if got := m.PageTransfer(false, false); got != m.PageTransferRemote1L {
+		t.Errorf("remote 1L = %d, want %d", got, m.PageTransferRemote1L)
+	}
+}
+
+func TestBarrierEndpoints(t *testing.T) {
+	m := Default()
+	if got := m.Barrier(2, true); got != m.Barrier2Proc2L {
+		t.Errorf("Barrier(2, 2L) = %d, want %d", got, m.Barrier2Proc2L)
+	}
+	if got := m.Barrier(32, true); got != m.Barrier32Proc2L {
+		t.Errorf("Barrier(32, 2L) = %d, want %d", got, m.Barrier32Proc2L)
+	}
+	if got := m.Barrier(2, false); got != m.Barrier2Proc1L {
+		t.Errorf("Barrier(2, 1L) = %d, want %d", got, m.Barrier2Proc1L)
+	}
+	if got := m.Barrier(64, false); got != m.Barrier32Proc1L {
+		t.Errorf("Barrier(64, 1L) clamps to 32-proc cost: got %d, want %d", got, m.Barrier32Proc1L)
+	}
+	if got := m.Barrier(1, true); got != m.Barrier2Proc2L {
+		t.Errorf("Barrier(1, 2L) clamps to 2-proc cost: got %d, want %d", got, m.Barrier2Proc2L)
+	}
+}
+
+func TestBarrierMonotonic(t *testing.T) {
+	m := Default()
+	prev := int64(0)
+	for n := 2; n <= 32; n++ {
+		got := m.Barrier(n, true)
+		if got < prev {
+			t.Fatalf("Barrier(%d) = %d < Barrier(%d) = %d", n, got, n-1, prev)
+		}
+		prev = got
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	// 29 MB/s link: one 8K page should take ~269 us.
+	m := Default()
+	got := Occupancy(8192, m.MCLinkBandwidth)
+	want := int64(8192) * int64(time.Second) / (29 << 20)
+	if got != want {
+		t.Errorf("Occupancy(8192) = %d, want %d", got, want)
+	}
+	if got < 260*int64(time.Microsecond) || got > 280*int64(time.Microsecond) {
+		t.Errorf("8K page at 29MB/s = %dns, expected ~269us", got)
+	}
+	if Occupancy(100, 0) != 0 {
+		t.Error("zero bandwidth must yield zero occupancy")
+	}
+	if Occupancy(-5, 1000) != 0 {
+		t.Error("negative size must yield zero occupancy")
+	}
+}
+
+func TestOccupancyProperties(t *testing.T) {
+	f := func(n uint16, bw uint32) bool {
+		b := int64(bw)%(1<<30) + 1
+		o1 := Occupancy(int64(n), b)
+		o2 := Occupancy(int64(n)*2, b)
+		// Doubling the bytes at least doesn't reduce occupancy, and
+		// occupancy is never negative.
+		return o1 >= 0 && o2 >= o1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffMonotoneInSize(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		const pw = 2048
+		x, y := int(a)%pw, int(b)%pw
+		if x > y {
+			x, y = y, x
+		}
+		return m.OutgoingDiff(x, pw, false) <= m.OutgoingDiff(y, pw, false) &&
+			m.OutgoingDiff(x, pw, true) <= m.OutgoingDiff(y, pw, true) &&
+			m.IncomingDiff(x, pw) <= m.IncomingDiff(y, pw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package diff implements twin and diff maintenance for the Cashmere
+// protocols (paper Sections 2.2 and 2.5).
+//
+// A twin is a pristine copy of a page made at the first write fault. At a
+// release, the page is compared against its twin and the differences —
+// the local modifications — are flushed to the home node (an "outgoing"
+// diff). Cashmere-2L additionally uses the twin in the other direction:
+// when fetching a fresh copy of a page that local processors are still
+// writing, the incoming master data is compared against the twin and only
+// the differences — which, for data-race-free programs, are exactly the
+// modifications made on remote nodes — are applied to the working page
+// and the twin (an "incoming" diff, or two-way diffing). This replaces
+// TLB shootdown: no intra-node synchronization is needed.
+//
+// A flush-update writes the local modifications to both the home node and
+// the twin, so that later releases by other local writers of the same
+// page do not re-flush them and overwrite newer remote changes at the
+// home (Section 2.5).
+//
+// Pages are []int64 word arrays shared between application goroutines and
+// protocol code, so every word is accessed with sync/atomic; twins are
+// only touched under the owning node's lock but are accessed atomically
+// too for uniformity.
+package diff
+
+import "sync/atomic"
+
+// Twin returns a newly-allocated pristine copy of page.
+func Twin(page []int64) []int64 {
+	t := make([]int64, len(page))
+	for i := range page {
+		t[i] = atomic.LoadInt64(&page[i])
+	}
+	return t
+}
+
+// Changed returns the number of words at which page and twin differ —
+// the size of the outgoing diff a release would flush.
+func Changed(page, twin []int64) int {
+	n := 0
+	for i := range twin {
+		if atomic.LoadInt64(&page[i]) != twin[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Outgoing compares page against twin and applies the differences (the
+// local modifications) to home. The twin is left untouched. It returns
+// the number of words written.
+func Outgoing(page, twin, home []int64) int {
+	n := 0
+	for i := range twin {
+		v := atomic.LoadInt64(&page[i])
+		if v != twin[i] {
+			atomic.StoreInt64(&home[i], v)
+			n++
+		}
+	}
+	return n
+}
+
+// FlushUpdate compares page against twin and writes the differences to
+// both home and the twin, returning the number of words written. After
+// the call the twin equals the page's flushed contents, so a subsequent
+// release by another local writer will flush only genuinely newer
+// modifications.
+func FlushUpdate(page, twin, home []int64) int {
+	n := 0
+	for i := range twin {
+		v := atomic.LoadInt64(&page[i])
+		if v != twin[i] {
+			atomic.StoreInt64(&home[i], v)
+			atomic.StoreInt64(&twin[i], v)
+			n++
+		}
+	}
+	return n
+}
+
+// Incoming compares incoming (the fresh master copy) against twin and
+// writes the differences — the remote modifications — to both the
+// working page and the twin. Words the local node has modified (which
+// differ between working and twin but not between incoming and twin)
+// are preserved. It returns the number of words applied.
+func Incoming(working, twin, incoming []int64) int {
+	n := 0
+	for i := range twin {
+		v := atomic.LoadInt64(&incoming[i])
+		if v != atomic.LoadInt64(&twin[i]) {
+			atomic.StoreInt64(&working[i], v)
+			atomic.StoreInt64(&twin[i], v)
+			n++
+		}
+	}
+	return n
+}
+
+// Copy overwrites dst with src word-atomically (a whole-page transfer or
+// exclusive-mode flush). The slices must have equal length.
+func Copy(dst, src []int64) {
+	for i := range src {
+		atomic.StoreInt64(&dst[i], atomic.LoadInt64(&src[i]))
+	}
+}
+
+// Equal reports whether two pages hold identical contents.
+func Equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if atomic.LoadInt64(&a[i]) != atomic.LoadInt64(&b[i]) {
+			return false
+		}
+	}
+	return true
+}

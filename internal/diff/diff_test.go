@@ -1,0 +1,255 @@
+package diff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func page(vals ...int64) []int64 {
+	p := make([]int64, len(vals))
+	copy(p, vals)
+	return p
+}
+
+func TestTwinIsIndependentCopy(t *testing.T) {
+	p := page(1, 2, 3)
+	tw := Twin(p)
+	if !Equal(p, tw) {
+		t.Fatal("twin differs from page")
+	}
+	p[1] = 99
+	if tw[1] != 2 {
+		t.Error("twin aliases page storage")
+	}
+}
+
+func TestChanged(t *testing.T) {
+	p := page(1, 2, 3, 4)
+	tw := Twin(p)
+	if got := Changed(p, tw); got != 0 {
+		t.Errorf("pristine page Changed = %d", got)
+	}
+	p[0], p[3] = 10, 40
+	if got := Changed(p, tw); got != 2 {
+		t.Errorf("Changed = %d, want 2", got)
+	}
+}
+
+func TestOutgoingAppliesOnlyLocalMods(t *testing.T) {
+	p := page(1, 2, 3, 4)
+	tw := Twin(p)
+	home := page(1, 2, 3, 4)
+	// Local writes words 0 and 2; meanwhile home has a newer remote
+	// value at word 3 which the outgoing diff must not clobber.
+	p[0], p[2] = 100, 300
+	home[3] = 444
+	n := Outgoing(p, tw, home)
+	if n != 2 {
+		t.Errorf("Outgoing applied %d words, want 2", n)
+	}
+	want := page(100, 2, 300, 444)
+	if !Equal(home, want) {
+		t.Errorf("home = %v, want %v", home, want)
+	}
+	// Outgoing leaves the twin untouched.
+	if tw[0] != 1 || tw[2] != 3 {
+		t.Errorf("Outgoing modified the twin: %v", tw)
+	}
+}
+
+func TestFlushUpdateUpdatesTwin(t *testing.T) {
+	p := page(1, 2, 3, 4)
+	tw := Twin(p)
+	home := page(1, 2, 3, 4)
+	p[1] = 22
+	n := FlushUpdate(p, tw, home)
+	if n != 1 {
+		t.Errorf("FlushUpdate applied %d, want 1", n)
+	}
+	if home[1] != 22 {
+		t.Errorf("home[1] = %d, want 22", home[1])
+	}
+	if tw[1] != 22 {
+		t.Errorf("twin[1] = %d, want 22 (flush-update must update the twin)", tw[1])
+	}
+	// A second flush by another local processor now sees no changes to
+	// this word and leaves a newer remote value at the home alone.
+	home[1] = 555 // newer remote write arrives at home
+	if n := FlushUpdate(p, tw, home); n != 0 {
+		t.Errorf("re-flush applied %d words, want 0", n)
+	}
+	if home[1] != 555 {
+		t.Errorf("re-flush clobbered newer remote value: home[1] = %d", home[1])
+	}
+}
+
+func TestIncomingAppliesOnlyRemoteMods(t *testing.T) {
+	// The scenario two-way diffing exists for: a local processor holds
+	// dirty (unflushed) words while a fresh master copy arrives with
+	// remote modifications to other words.
+	p := page(1, 2, 3, 4)
+	tw := Twin(p)
+	p[0] = 100 // local modification, not yet flushed
+	incoming := page(1, 2, 333, 4)
+	n := Incoming(p, tw, incoming)
+	if n != 1 {
+		t.Errorf("Incoming applied %d, want 1", n)
+	}
+	want := page(100, 2, 333, 4) // local mod preserved, remote mod applied
+	if !Equal(p, want) {
+		t.Errorf("working page = %v, want %v", p, want)
+	}
+	// Twin picked up the remote change so the next release will not
+	// flush it back (it is not a local modification).
+	if tw[2] != 333 {
+		t.Errorf("twin[2] = %d, want 333", tw[2])
+	}
+	if tw[0] != 1 {
+		t.Errorf("twin[0] = %d, want 1 (local mod must stay flushable)", tw[0])
+	}
+	// The local modification remains the only outgoing diff.
+	if got := Changed(p, tw); got != 1 {
+		t.Errorf("outgoing diff after incoming diff = %d words, want 1", got)
+	}
+}
+
+func TestIncomingThenFlushRoundTrip(t *testing.T) {
+	// Full two-node exchange: node A writes word 0, node B writes word
+	// 1; each flushes to home and fetches via incoming diff; both end
+	// with the merged page.
+	home := page(10, 20)
+	pa, pb := page(10, 20), page(10, 20)
+	ta, tb := Twin(pa), Twin(pb)
+
+	pa[0] = 11 // A writes
+	pb[1] = 22 // B writes
+
+	FlushUpdate(pa, ta, home) // A releases
+	Incoming(pb, tb, home)    // B acquires and fetches
+	want := page(11, 22)
+	if !Equal(pb, want) {
+		t.Errorf("B's page = %v, want %v", pb, want)
+	}
+
+	FlushUpdate(pb, tb, home) // B releases
+	Incoming(pa, ta, home)    // A fetches
+	if !Equal(pa, want) {
+		t.Errorf("A's page = %v, want %v", pa, want)
+	}
+	if !Equal(home, want) {
+		t.Errorf("home = %v, want %v", home, want)
+	}
+}
+
+func TestCopy(t *testing.T) {
+	src := page(7, 8, 9)
+	dst := page(0, 0, 0)
+	Copy(dst, src)
+	if !Equal(dst, src) {
+		t.Errorf("Copy: dst = %v", dst)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if Equal(page(1, 2), page(1, 2, 3)) {
+		t.Error("pages of different lengths reported equal")
+	}
+	if !Equal(page(1, 2), page(1, 2)) {
+		t.Error("identical pages reported unequal")
+	}
+	if Equal(page(1, 2), page(1, 3)) {
+		t.Error("different pages reported equal")
+	}
+}
+
+// Property: for any base page and any pair of DISJOINT local and remote
+// write sets, flush-update from the local side and incoming diff on the
+// other side always produce the merged page — the data-race-free merge
+// guarantee the protocol relies on.
+func TestMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(64)
+		base := make([]int64, n)
+		for i := range base {
+			base[i] = rng.Int63n(1000)
+		}
+		home := Twin(base)
+		local := Twin(base)
+		remote := Twin(base)
+		ltwin := Twin(local)
+		rtwin := Twin(remote)
+
+		want := Twin(base)
+		perm := rng.Perm(n)
+		k := rng.Intn(n + 1)
+		for idx, w := range perm {
+			v := rng.Int63n(1000) + 2000 // distinct from base values
+			if idx < k {
+				local[w] = v
+			} else {
+				remote[w] = v
+			}
+			want[w] = v
+		}
+
+		// Remote node releases first; local node then fetches with an
+		// incoming diff while still holding its own dirty words, then
+		// releases its own changes.
+		FlushUpdate(remote, rtwin, home)
+		Incoming(local, ltwin, home)
+		FlushUpdate(local, ltwin, home)
+
+		return Equal(local, want) && Equal(home, want) && Equal(ltwin, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FlushUpdate makes the twin equal the page, and a second
+// FlushUpdate is always a no-op.
+func TestFlushUpdateIdempotent(t *testing.T) {
+	f := func(vals []int64, muts []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		p := make([]int64, len(vals))
+		copy(p, vals)
+		tw := Twin(p)
+		home := Twin(p)
+		for i, m := range muts {
+			p[i%len(p)] += int64(m) + 1
+		}
+		FlushUpdate(p, tw, home)
+		if !Equal(tw, p) {
+			return false
+		}
+		return FlushUpdate(p, tw, home) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Outgoing and Changed agree on the diff size.
+func TestOutgoingMatchesChanged(t *testing.T) {
+	f := func(vals []int64, muts []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		p := make([]int64, len(vals))
+		copy(p, vals)
+		tw := Twin(p)
+		home := Twin(p)
+		for i, m := range muts {
+			p[i%len(p)] += int64(m) + 1
+		}
+		c := Changed(p, tw)
+		return Outgoing(p, tw, home) == c && Equal(home, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package directory implements the distributed page directory of the
+// Cashmere protocols (paper Section 2.3).
+//
+// Each shared page has one directory entry consisting of one word per
+// protocol node. Crucially, each word is written by exactly one node —
+// the node whose view it records — so no global lock is needed to keep
+// the entry consistent: expanding the entry to a word per node is the
+// paper's alternative to compressing it into a single globally-locked
+// word. The entry is replicated on every physical node by Memory Channel
+// broadcast; because the directory region does not use loop-back, a
+// writer must manually "double" its write into its own replica.
+//
+// A word packs (paper layout, Section 2.3):
+//
+//	bits 0-1   loosest permission for the page on that node
+//	bits 2-7   processor holding the page in exclusive mode, plus one
+//	bits 8-13  home processor, plus one (redundant across words)
+//	bit  14    home was assigned by first-touch (vs round-robin default)
+//
+// The one-level protocols use the same machinery with one word per
+// processor, and the lock-based ablation (Section 3.3.5) serializes
+// updates behind per-page global locks.
+package directory
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cashmere/internal/memchan"
+	"cashmere/internal/sim"
+)
+
+// Perm is a page access permission, from most to least restrictive.
+type Perm uint8
+
+// Page permissions.
+const (
+	Invalid Perm = iota
+	ReadOnly
+	ReadWrite
+)
+
+// String returns a short name for the permission.
+func (p Perm) String() string {
+	switch p {
+	case Invalid:
+		return "inv"
+	case ReadOnly:
+		return "ro"
+	case ReadWrite:
+		return "rw"
+	default:
+		return fmt.Sprintf("Perm(%d)", uint8(p))
+	}
+}
+
+// Word is one node's packed 32-bit view of a page.
+type Word uint32
+
+const (
+	permMask   = 0x3
+	exclShift  = 2
+	exclMask   = 0x3f << exclShift
+	homeShift  = 8
+	homeMask   = 0x3f << homeShift
+	touchedBit = 1 << 14
+	maxProc    = 62 // 6-bit field holds proc+1
+)
+
+// Perm returns the loosest permission any processor on the node holds.
+func (w Word) Perm() Perm { return Perm(w & permMask) }
+
+// WithPerm returns w with the permission field set to p.
+func (w Word) WithPerm(p Perm) Word { return (w &^ permMask) | Word(p)&permMask }
+
+// Excl returns the processor holding the page exclusively on this node,
+// if any.
+func (w Word) Excl() (proc int, ok bool) {
+	v := int(w&exclMask) >> exclShift
+	return v - 1, v != 0
+}
+
+// WithExcl returns w recording proc as the exclusive holder.
+func (w Word) WithExcl(proc int) Word {
+	if proc < 0 || proc > maxProc {
+		panic(fmt.Sprintf("directory: exclusive proc %d out of range", proc))
+	}
+	return (w &^ exclMask) | Word(proc+1)<<exclShift
+}
+
+// ClearExcl returns w with no exclusive holder.
+func (w Word) ClearExcl() Word { return w &^ exclMask }
+
+// Home returns the home processor recorded in this word, if set.
+func (w Word) Home() (proc int, ok bool) {
+	v := int(w&homeMask) >> homeShift
+	return v - 1, v != 0
+}
+
+// WithHome returns w recording proc as the home processor.
+func (w Word) WithHome(proc int) Word {
+	if proc < 0 || proc > maxProc {
+		panic(fmt.Sprintf("directory: home proc %d out of range", proc))
+	}
+	return (w &^ homeMask) | Word(proc+1)<<homeShift
+}
+
+// FirstTouched reports whether the home was assigned by the first-touch
+// heuristic rather than the round-robin default.
+func (w Word) FirstTouched() bool { return w&touchedBit != 0 }
+
+// WithFirstTouched returns w with the first-touch bit set.
+func (w Word) WithFirstTouched() Word { return w | touchedBit }
+
+// String renders the word for debugging.
+func (w Word) String() string {
+	s := w.Perm().String()
+	if p, ok := w.Excl(); ok {
+		s += fmt.Sprintf(" excl=%d", p)
+	}
+	if p, ok := w.Home(); ok {
+		s += fmt.Sprintf(" home=%d", p)
+		if w.FirstTouched() {
+			s += "(ft)"
+		}
+	}
+	return s
+}
+
+// Global is the distributed, replicated page directory. Words are
+// indexed by (page, protocol node); physOf maps protocol nodes to the
+// physical nodes of the Memory Channel (identity for two-level
+// protocols; proc-to-SMP mapping for one-level protocols, where every
+// processor is its own protocol node).
+type Global struct {
+	region     *memchan.Region
+	pages      int
+	protoNodes int
+	physOf     func(int) int
+	lockBased  bool
+	locks      []sim.VLock
+}
+
+// NewGlobal creates a directory for pages pages and protoNodes protocol
+// nodes on the given network. When lockBased is true, updates must be
+// bracketed by Lock/Unlock on the page's global lock (the Section 3.3.5
+// ablation).
+func NewGlobal(net *memchan.Network, pages, protoNodes int, physOf func(int) int, lockBased bool) *Global {
+	g := &Global{
+		region:     net.NewRegion(pages*protoNodes, false),
+		pages:      pages,
+		protoNodes: protoNodes,
+		physOf:     physOf,
+		lockBased:  lockBased,
+	}
+	if lockBased {
+		g.locks = make([]sim.VLock, pages)
+	}
+	return g
+}
+
+// Pages returns the number of pages the directory covers.
+func (g *Global) Pages() int { return g.pages }
+
+// ProtoNodes returns the number of protocol nodes per entry.
+func (g *Global) ProtoNodes() int { return g.protoNodes }
+
+// LockBased reports whether updates require the per-page global lock.
+func (g *Global) LockBased() bool { return g.lockBased }
+
+// PageLock returns the global lock for page under the lock-based
+// variant, or nil for the lock-free directory.
+func (g *Global) PageLock(page int) *sim.VLock {
+	if !g.lockBased {
+		return nil
+	}
+	return &g.locks[page]
+}
+
+func (g *Global) off(page, protoNode int) int {
+	return page*g.protoNodes + protoNode
+}
+
+// Load returns protocol node protoNode's word for page, as read by a
+// processor on the given protocol node reader (reads always hit the
+// local replica).
+func (g *Global) Load(reader, page, protoNode int) Word {
+	return Word(g.region.Read(g.physOf(reader), g.off(page, protoNode)))
+}
+
+// Store broadcasts writer's own word for page at virtual time now and
+// doubles it into the local replica. It returns the time the update is
+// globally performed. Only the word's owning node may store it; that
+// discipline is what makes the directory lock-free.
+func (g *Global) Store(writer, page int, w Word, now int64) int64 {
+	phys := g.physOf(writer)
+	off := g.off(page, writer)
+	done := g.region.Write(phys, off, int64(w), now)
+	g.region.Poke(phys, off, int64(w))
+	return done
+}
+
+// Sharers returns the number of protocol nodes with a valid (read-only
+// or read-write) view of page, excluding except (pass a negative except
+// to count all).
+func (g *Global) Sharers(reader, page, except int) int {
+	n := 0
+	for node := 0; node < g.protoNodes; node++ {
+		if node == except {
+			continue
+		}
+		if g.Load(reader, page, node).Perm() != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// ExclHolder scans page's entry for an exclusive holder and returns the
+// protocol node and processor holding it.
+func (g *Global) ExclHolder(reader, page int) (node, proc int, ok bool) {
+	for n := 0; n < g.protoNodes; n++ {
+		if p, has := g.Load(reader, page, n).Excl(); has {
+			return n, p, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Home returns the home processor of page as recorded in the directory
+// (any node's word; home indications are redundant), and whether one is
+// recorded.
+func (g *Global) Home(reader, page int) (proc int, ok bool) {
+	for n := 0; n < g.protoNodes; n++ {
+		if p, has := g.Load(reader, page, n).Home(); has {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// LClock is a node's protocol logical clock (paper Section 2.2:
+// incremented on page faults, page flushes, acquires and releases). It
+// is shared by the node's processors and updated with atomic operations,
+// standing in for the paper's ll/sc sequences.
+type LClock struct {
+	v atomic.Int64
+}
+
+// Tick increments the clock and returns the new value.
+func (c *LClock) Tick() int64 { return c.v.Add(1) }
+
+// Now returns the current logical time.
+func (c *LClock) Now() int64 { return c.v.Load() }

@@ -1,0 +1,239 @@
+package directory
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cashmere/internal/costs"
+	"cashmere/internal/memchan"
+)
+
+func TestWordPacking(t *testing.T) {
+	var w Word
+	if w.Perm() != Invalid {
+		t.Errorf("zero word perm = %v", w.Perm())
+	}
+	if _, ok := w.Excl(); ok {
+		t.Error("zero word has exclusive holder")
+	}
+	if _, ok := w.Home(); ok {
+		t.Error("zero word has home")
+	}
+	if w.FirstTouched() {
+		t.Error("zero word first-touched")
+	}
+
+	w = w.WithPerm(ReadWrite).WithExcl(31).WithHome(17).WithFirstTouched()
+	if w.Perm() != ReadWrite {
+		t.Errorf("perm = %v, want rw", w.Perm())
+	}
+	if p, ok := w.Excl(); !ok || p != 31 {
+		t.Errorf("excl = %d,%v want 31", p, ok)
+	}
+	if p, ok := w.Home(); !ok || p != 17 {
+		t.Errorf("home = %d,%v want 17", p, ok)
+	}
+	if !w.FirstTouched() {
+		t.Error("first-touch bit lost")
+	}
+
+	w = w.ClearExcl().WithPerm(ReadOnly)
+	if _, ok := w.Excl(); ok {
+		t.Error("ClearExcl did not clear")
+	}
+	if w.Perm() != ReadOnly {
+		t.Errorf("perm after update = %v", w.Perm())
+	}
+	if p, ok := w.Home(); !ok || p != 17 {
+		t.Error("home lost by unrelated updates")
+	}
+}
+
+func TestWordProcZeroIsValid(t *testing.T) {
+	w := Word(0).WithExcl(0).WithHome(0)
+	if p, ok := w.Excl(); !ok || p != 0 {
+		t.Errorf("excl proc 0 roundtrip = %d,%v", p, ok)
+	}
+	if p, ok := w.Home(); !ok || p != 0 {
+		t.Errorf("home proc 0 roundtrip = %d,%v", p, ok)
+	}
+}
+
+func TestWordRangePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Word(0).WithExcl(63) },
+		func() { Word(0).WithExcl(-1) },
+		func() { Word(0).WithHome(63) },
+		func() { Word(0).WithHome(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range proc id did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWordRoundTripProperty(t *testing.T) {
+	f := func(perm uint8, excl, home uint8, ft bool) bool {
+		p := Perm(perm % 3)
+		e := int(excl) % 63
+		h := int(home) % 63
+		w := Word(0).WithPerm(p).WithExcl(e).WithHome(h)
+		if ft {
+			w = w.WithFirstTouched()
+		}
+		ge, ok1 := w.Excl()
+		gh, ok2 := w.Home()
+		return w.Perm() == p && ok1 && ge == e && ok2 && gh == h && w.FirstTouched() == ft
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordString(t *testing.T) {
+	w := Word(0).WithPerm(ReadWrite).WithExcl(3).WithHome(5).WithFirstTouched()
+	s := w.String()
+	for _, want := range []string{"rw", "excl=3", "home=5", "(ft)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if Invalid.String() != "inv" || ReadOnly.String() != "ro" {
+		t.Error("Perm names wrong")
+	}
+	if !strings.Contains(Perm(9).String(), "9") {
+		t.Error("unknown perm not rendered numerically")
+	}
+}
+
+func ident(n int) int { return n }
+
+func TestGlobalStoreLoad(t *testing.T) {
+	net := memchan.New(4, costs.Default())
+	g := NewGlobal(net, 10, 4, ident, false)
+	if g.Pages() != 10 || g.ProtoNodes() != 4 {
+		t.Errorf("dims = %d,%d", g.Pages(), g.ProtoNodes())
+	}
+	w := Word(0).WithPerm(ReadWrite).WithHome(2)
+	done := g.Store(1, 7, w, 1000)
+	if done <= 1000 {
+		t.Errorf("Store globally performed at %d", done)
+	}
+	// Every node, including the writer (manual doubling), sees it.
+	for reader := 0; reader < 4; reader++ {
+		if got := g.Load(reader, 7, 1); got != w {
+			t.Errorf("reader %d load = %v, want %v", reader, got, w)
+		}
+	}
+	// Other pages and words untouched.
+	if got := g.Load(0, 7, 2); got != 0 {
+		t.Errorf("unrelated word = %v", got)
+	}
+	if got := g.Load(0, 6, 1); got != 0 {
+		t.Errorf("unrelated page = %v", got)
+	}
+}
+
+func TestGlobalSharers(t *testing.T) {
+	net := memchan.New(4, costs.Default())
+	g := NewGlobal(net, 4, 4, ident, false)
+	g.Store(0, 2, Word(0).WithPerm(ReadOnly), 0)
+	g.Store(3, 2, Word(0).WithPerm(ReadWrite), 0)
+	if got := g.Sharers(1, 2, -1); got != 2 {
+		t.Errorf("Sharers(all) = %d, want 2", got)
+	}
+	if got := g.Sharers(1, 2, 0); got != 1 {
+		t.Errorf("Sharers(except 0) = %d, want 1", got)
+	}
+	if got := g.Sharers(1, 2, 3); got != 1 {
+		t.Errorf("Sharers(except 3) = %d, want 1", got)
+	}
+	if got := g.Sharers(1, 1, -1); got != 0 {
+		t.Errorf("Sharers(untouched page) = %d", got)
+	}
+}
+
+func TestGlobalExclHolder(t *testing.T) {
+	net := memchan.New(4, costs.Default())
+	g := NewGlobal(net, 4, 4, ident, false)
+	if _, _, ok := g.ExclHolder(0, 1); ok {
+		t.Error("found exclusive holder on empty directory")
+	}
+	g.Store(2, 1, Word(0).WithPerm(ReadWrite).WithExcl(9), 0)
+	node, proc, ok := g.ExclHolder(0, 1)
+	if !ok || node != 2 || proc != 9 {
+		t.Errorf("ExclHolder = %d,%d,%v want 2,9,true", node, proc, ok)
+	}
+}
+
+func TestGlobalHome(t *testing.T) {
+	net := memchan.New(4, costs.Default())
+	g := NewGlobal(net, 4, 4, ident, false)
+	if _, ok := g.Home(0, 3); ok {
+		t.Error("found home on empty directory")
+	}
+	g.Store(1, 3, Word(0).WithHome(6), 0)
+	if p, ok := g.Home(2, 3); !ok || p != 6 {
+		t.Errorf("Home = %d,%v want 6,true", p, ok)
+	}
+}
+
+func TestGlobalLockBased(t *testing.T) {
+	net := memchan.New(2, costs.Default())
+	g := NewGlobal(net, 3, 2, ident, true)
+	if !g.LockBased() {
+		t.Error("LockBased() = false")
+	}
+	l := g.PageLock(1)
+	if l == nil {
+		t.Fatal("PageLock returned nil for lock-based directory")
+	}
+	held := l.Acquire(0, 5)
+	l.Release(held + 100)
+	got := l.Acquire(held+10, 5) // overlapping arrival waits
+	if got != held+105 {
+		t.Errorf("overlapping acquire held at %d, want %d", got, held+105)
+	}
+	l.Release(got)
+
+	gf := NewGlobal(net, 3, 2, ident, false)
+	if gf.PageLock(0) != nil {
+		t.Error("lock-free directory returned a page lock")
+	}
+}
+
+func TestGlobalOneLevelMapping(t *testing.T) {
+	// One-level protocols: 8 protocol nodes (processors) on 2 physical
+	// nodes; reads must hit the reader's physical replica.
+	net := memchan.New(2, costs.Default())
+	physOf := func(proc int) int { return proc / 4 }
+	g := NewGlobal(net, 2, 8, physOf, false)
+	g.Store(5, 0, Word(0).WithPerm(ReadOnly), 0) // proc 5 lives on phys node 1
+	for reader := 0; reader < 8; reader++ {
+		if got := g.Load(reader, 0, 5); got.Perm() != ReadOnly {
+			t.Errorf("proc %d sees %v", reader, got)
+		}
+	}
+}
+
+func TestLClock(t *testing.T) {
+	var c LClock
+	if c.Now() != 0 {
+		t.Errorf("new clock = %d", c.Now())
+	}
+	if got := c.Tick(); got != 1 {
+		t.Errorf("first Tick = %d", got)
+	}
+	if got := c.Tick(); got != 2 {
+		t.Errorf("second Tick = %d", got)
+	}
+	if c.Now() != 2 {
+		t.Errorf("Now = %d", c.Now())
+	}
+}

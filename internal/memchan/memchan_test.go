@@ -1,0 +1,285 @@
+package memchan
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"cashmere/internal/costs"
+)
+
+func net8(t *testing.T) *Network {
+	t.Helper()
+	return New(8, costs.Default())
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0, costs.Default())
+}
+
+func TestBroadcastWrite(t *testing.T) {
+	n := net8(t)
+	r := n.NewRegion(16, false)
+	done := r.Write(2, 5, 99, 1000)
+	if done != 1000+n.Model().MCWriteLatency {
+		t.Errorf("globally performed at %d, want %d", done, 1000+n.Model().MCWriteLatency)
+	}
+	for node := 0; node < 8; node++ {
+		got := r.Read(node, 5)
+		if node == 2 {
+			// No loop-back: writer's own copy untouched.
+			if got != 0 {
+				t.Errorf("writer's copy updated without loop-back: %d", got)
+			}
+			continue
+		}
+		if got != 99 {
+			t.Errorf("node %d read %d, want 99", node, got)
+		}
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	n := net8(t)
+	r := n.NewRegion(4, true)
+	r.Write(3, 0, 7, 0)
+	if got := r.Read(3, 0); got != 7 {
+		t.Errorf("loop-back write not visible to writer: %d", got)
+	}
+}
+
+func TestPokeDoubling(t *testing.T) {
+	n := net8(t)
+	r := n.NewRegion(4, false)
+	r.Write(1, 2, 42, 0)
+	r.Poke(1, 2, 42) // manual doubling, as the global directory does
+	for node := 0; node < 8; node++ {
+		if got := r.Read(node, 2); got != 42 {
+			t.Errorf("node %d read %d after write+poke, want 42", node, got)
+		}
+	}
+}
+
+func TestRegionAtReceivers(t *testing.T) {
+	n := net8(t)
+	r := n.NewRegionAt(8, false, 4)
+	if !r.Receives(4) {
+		t.Error("node 4 should receive")
+	}
+	if r.Receives(0) || r.Receives(7) {
+		t.Error("non-receivers report receiving")
+	}
+	if r.Receives(-1) || r.Receives(99) {
+		t.Error("out-of-range nodes report receiving")
+	}
+	r.Write(0, 3, 11, 0)
+	if got := r.Read(4, 3); got != 11 {
+		t.Errorf("home copy read %d, want 11", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("reading a non-received region did not panic")
+		}
+	}()
+	r.Read(1, 3)
+}
+
+func TestRegionAtInvalidReceiver(t *testing.T) {
+	n := net8(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid receiver did not panic")
+		}
+	}()
+	n.NewRegionAt(8, false, 9)
+}
+
+func TestPokeNonReceiverPanics(t *testing.T) {
+	n := net8(t)
+	r := n.NewRegionAt(8, false, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Poke on non-receiver did not panic")
+		}
+	}()
+	r.Poke(3, 0, 1)
+}
+
+func TestWriteOrdering(t *testing.T) {
+	// A reader that observes the second write must observe the first:
+	// MC guarantees write ordering from a single source.
+	n := New(2, costs.Default())
+	r := n.NewRegion(2, false)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	stop := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		for i := int64(1); i <= 10000; i++ {
+			r.Write(0, 0, i, 0)
+			r.Write(0, 1, i, 0)
+		}
+		close(stop)
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			second := r.Read(1, 1)
+			first := r.Read(1, 0)
+			if first < second {
+				t.Errorf("ordering violated: second=%d visible but first=%d", second, first)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestWriteBlock(t *testing.T) {
+	n := net8(t)
+	r := n.NewRegion(64, false)
+	vals := []int64{1, 2, 3, 4}
+	done := r.WriteBlock(0, 10, vals, 0)
+	if done <= 0 {
+		t.Errorf("WriteBlock completion = %d", done)
+	}
+	for i, v := range vals {
+		if got := r.Read(5, 10+i); got != v {
+			t.Errorf("word %d = %d, want %d", 10+i, got, v)
+		}
+	}
+	// Completion includes at least the link occupancy plus latency.
+	m := n.Model()
+	min := costs.Occupancy(int64(len(vals)*WordBytes), m.MCLinkBandwidth) + m.MCWriteLatency
+	if done < min {
+		t.Errorf("WriteBlock done=%d < minimum %d", done, min)
+	}
+}
+
+func TestTransferUncontended(t *testing.T) {
+	n := net8(t)
+	m := n.Model()
+	// One 8K page from an idle network: link bandwidth (29 MB/s) is the
+	// bottleneck, so ~269us + 5.2us latency.
+	done := n.Transfer(0, 8192, 0)
+	want := costs.Occupancy(8192, m.MCLinkBandwidth) + m.MCWriteLatency
+	if done != want {
+		t.Errorf("Transfer = %d, want %d", done, want)
+	}
+}
+
+func TestTransferContention(t *testing.T) {
+	n := net8(t)
+	m := n.Model()
+	// Eight nodes each inject an 8K page at time zero. Each node's own
+	// link is idle, but the shared hub (60 MB/s) must serialize them:
+	// the last one completes no earlier than 8*8192 bytes over the hub.
+	var last int64
+	for src := 0; src < 8; src++ {
+		if done := n.Transfer(src, 8192, 0); done > last {
+			last = done
+		}
+	}
+	// Allow a few ns of integer-division rounding per transfer.
+	hubBound := costs.Occupancy(8*8192, m.MCAggregateBandwidth) + m.MCWriteLatency - 16
+	if last < hubBound {
+		t.Errorf("last transfer at %d, want >= hub bound %d", last, hubBound)
+	}
+	// And a single link never moved more than its own page, so no
+	// transfer should cost more than ~8 pages over the hub plus slack.
+	if last > 2*hubBound {
+		t.Errorf("last transfer at %d, absurdly above hub bound %d", last, hubBound)
+	}
+}
+
+func TestTransferSameLinkSerializes(t *testing.T) {
+	n := net8(t)
+	m := n.Model()
+	d1 := n.Transfer(3, 8192, 0)
+	d2 := n.Transfer(3, 8192, 0)
+	if d2 <= d1 {
+		t.Errorf("second transfer on same link (%d) not after first (%d)", d2, d1)
+	}
+	// Allow a few ns of integer-division rounding per transfer.
+	linkBound := costs.Occupancy(2*8192, m.MCLinkBandwidth) + m.MCWriteLatency - 16
+	if d2 < linkBound {
+		t.Errorf("two pages on one 29MB/s link done at %d, want >= %d", d2, linkBound)
+	}
+}
+
+func TestTransferZeroBytes(t *testing.T) {
+	n := net8(t)
+	if done := n.Transfer(0, 0, 100); done != 100+n.Model().MCWriteLatency {
+		t.Errorf("zero-byte transfer = %d", done)
+	}
+}
+
+func TestTransferInvalidNode(t *testing.T) {
+	n := net8(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Transfer from invalid node did not panic")
+		}
+	}()
+	n.Transfer(8, 100, 0)
+}
+
+func TestBytesMovedAccounting(t *testing.T) {
+	n := net8(t)
+	r := n.NewRegion(16, false)
+	n.Transfer(0, 1000, 0)
+	r.Write(0, 0, 1, 0)
+	r.WriteBlock(1, 0, []int64{1, 2}, 0)
+	want := int64(1000 + WordBytes + 2*WordBytes)
+	if got := n.BytesMoved(); got != want {
+		t.Errorf("BytesMoved = %d, want %d", got, want)
+	}
+}
+
+func TestConcurrentDistinctWordWriters(t *testing.T) {
+	// The protocols guarantee each metadata word has a single writing
+	// node; concurrent writers to distinct words must not interfere.
+	n := net8(t)
+	r := n.NewRegion(8, false)
+	var wg sync.WaitGroup
+	for node := 0; node < 8; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				r.Write(node, node, i, 0)
+				r.Poke(node, node, i)
+			}
+		}(node)
+	}
+	wg.Wait()
+	for node := 0; node < 8; node++ {
+		for reader := 0; reader < 8; reader++ {
+			if got := r.Read(reader, node); got != 999 {
+				t.Errorf("node %d reads word %d = %d, want 999", reader, node, got)
+			}
+		}
+	}
+}
+
+func TestWordBytesMatchesLatencyScale(t *testing.T) {
+	// Sanity: an 8K page at 29MB/s should take roughly 270us, i.e.
+	// vastly more than the 5.2us word latency — the reason the paper's
+	// protocols fight to reduce data volume.
+	m := costs.Default()
+	page := costs.Occupancy(8192, m.MCLinkBandwidth)
+	if page < 50*m.MCWriteLatency {
+		t.Errorf("page occupancy %v should dwarf word latency %v",
+			time.Duration(page), time.Duration(m.MCWriteLatency))
+	}
+}

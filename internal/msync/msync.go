@@ -1,0 +1,129 @@
+// Package msync implements the application-level synchronization
+// primitives of the Cashmere runtime: global locks, barriers, and flags
+// (paper Sections 2.2 and 2.3).
+//
+// Locks are represented by a per-node entry array in Memory Channel
+// space configured for loop-back: an acquirer takes its node's local
+// test-and-set flag, sets its array entry, waits for the entry to loop
+// back (proving the write is globally performed), and reads the whole
+// array; if its entry is the only one set it holds the lock. The
+// simulation resolves the contention race with a host mutex and models
+// the algorithm's cost and the virtual-time handoff from the previous
+// holder; the array writes are performed for real so the Memory Channel
+// state is observable.
+//
+// Barriers are two-level: processors within a node gather through shared
+// memory, the last arrival posts the node's arrival to Memory Channel
+// space, and departure is broadcast. Virtual time releases every
+// participant at the latest arrival plus the measured barrier cost
+// (Table 1), which the cost model interpolates with the participant
+// count.
+//
+// Flags are write-once notifications (Gauss's per-row availability
+// flags): the setter's Memory Channel write is globally performed one
+// write latency after the set, and waiters resume no earlier than that.
+package msync
+
+import (
+	"cashmere/internal/memchan"
+	"cashmere/internal/sim"
+)
+
+// Lock is a cluster-wide application lock.
+type Lock struct {
+	array *memchan.Region // one entry per node, loop-back enabled
+	v     sim.VLock
+}
+
+// NewLock allocates a lock's entry array on the network.
+func NewLock(net *memchan.Network) *Lock {
+	return &Lock{array: net.NewRegion(net.Nodes(), true)}
+}
+
+// Acquire takes the lock on behalf of a processor of physical node node
+// whose clock reads now, charging acquireCost (the protocol family's
+// measured uncontended latency). It returns the virtual time at which
+// the lock is held: no earlier than the previous holder's release.
+func (l *Lock) Acquire(node int, now, acquireCost int64) int64 {
+	held := l.v.Acquire(now, acquireCost)
+	// Set our array entry; the loop-back wait is part of acquireCost.
+	l.array.Write(node, node, 1, held)
+	return held
+}
+
+// Release releases the lock at virtual time now, clearing the holder's
+// array entry.
+func (l *Lock) Release(node int, now int64) {
+	l.array.Write(node, node, 0, now)
+	l.v.Release(now)
+}
+
+// HeldBy reports whether node's array entry is set, as observed from
+// observer's replica (for tests and debugging).
+func (l *Lock) HeldBy(observer, node int) bool {
+	return l.array.Read(observer, node) != 0
+}
+
+// Barrier is a cluster-wide application barrier over virtual time.
+type Barrier struct {
+	r    *sim.Rendezvous
+	cost int64
+}
+
+// NewBarrier returns a barrier for parties processors with the given
+// per-episode cost.
+func NewBarrier(parties int, cost int64) *Barrier {
+	return &Barrier{r: sim.NewRendezvous(parties), cost: cost}
+}
+
+// Wait blocks the caller (whose clock reads now) until every party has
+// arrived, and returns the common departure time: the latest arrival
+// plus the barrier cost.
+func (b *Barrier) Wait(now int64) int64 {
+	return b.r.Wait(now) + b.cost
+}
+
+// Parties returns the number of processors the barrier synchronizes.
+func (b *Barrier) Parties() int { return b.r.Parties() }
+
+// Flag is a cluster-wide set-once notification flag.
+type Flag struct {
+	f    *sim.VFlag
+	cell *memchan.Region
+	wlat int64
+}
+
+// NewFlag allocates a flag cell on the network.
+func NewFlag(net *memchan.Network) *Flag {
+	return &Flag{
+		f:    sim.NewVFlag(),
+		cell: net.NewRegion(1, true),
+		wlat: net.Model().MCWriteLatency,
+	}
+}
+
+// Set raises the flag from node at virtual time now. The flag becomes
+// globally visible one Memory Channel write latency later.
+func (fl *Flag) Set(node int, now int64) {
+	visible := fl.cell.Write(node, 0, 1, now)
+	fl.f.Set(visible)
+}
+
+// Wait blocks until the flag is set and returns the earliest virtual
+// time the waiter can have observed it: max(now, global visibility).
+func (fl *Flag) Wait(now int64) int64 {
+	vis := fl.f.Wait()
+	if vis > now {
+		return vis
+	}
+	return now
+}
+
+// IsSet reports whether the flag has been raised.
+func (fl *Flag) IsSet() bool { return fl.f.IsSet() }
+
+// Reset returns the flag to the unset state; no waiter may be active.
+func (fl *Flag) Reset(node int) {
+	fl.cell.Write(node, 0, 0, 0)
+	fl.f.Reset()
+}

@@ -1,0 +1,288 @@
+// Package sim provides the virtual-time machinery of the simulator.
+//
+// The simulator uses direct execution: each simulated processor is a
+// goroutine that really executes the application and protocol code, while
+// its *performance* is modelled by a per-processor virtual clock measured
+// in nanoseconds. Computation and protocol operations advance the clock
+// by amounts taken from the cost model; synchronization primitives
+// reconcile clocks between processors (a barrier releases everyone at the
+// latest arrival time, a lock passes its release time to the next holder,
+// a flag wait completes when the setter's write has propagated).
+//
+// Two shared resources are modelled as serially-occupied buses, matching
+// the paper's platform: the Memory Channel (a serial global interconnect,
+// Section 3.3.3) and each SMP node's memory bus (whose saturation causes
+// the negative clustering effects of SOR and Gauss).
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cashmere/internal/costs"
+)
+
+// Clock is a virtual-time clock owned by a single simulated processor.
+// Only the owning goroutine may call its methods.
+type Clock struct {
+	now int64
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by ns nanoseconds. Negative amounts
+// are ignored: virtual time never runs backwards.
+func (c *Clock) Advance(ns int64) {
+	if ns > 0 {
+		c.now += ns
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now and
+// returns the amount of time skipped (the wait). It returns 0 when t is
+// not in the future.
+func (c *Clock) AdvanceTo(t int64) int64 {
+	if t <= c.now {
+		return 0
+	}
+	d := t - c.now
+	c.now = t
+	return d
+}
+
+// Bus models a serially-occupied shared resource with a fixed bandwidth:
+// the Memory Channel hub or an SMP node's memory bus. Transfers are
+// granted in the order processors request them; each occupies the bus
+// for bytes/bandwidth seconds starting no earlier than the bus's previous
+// completion time. Bus is safe for concurrent use.
+type Bus struct {
+	freeAt    atomic.Int64
+	bandwidth int64
+}
+
+// NewBus returns a bus with the given bandwidth in bytes per second.
+// A zero or negative bandwidth disables contention modelling: transfers
+// complete instantaneously.
+func NewBus(bandwidth int64) *Bus {
+	return &Bus{bandwidth: bandwidth}
+}
+
+// maxQueueFactor bounds how long one transfer can wait behind earlier
+// reservations, in multiples of its own occupancy. Processor clocks in a
+// direct-execution simulation are only loosely synchronized; without a
+// bound, a reservation made by a processor whose clock runs ahead would
+// stall processors that are behind for arbitrarily long virtual times.
+// A factor of 64 admits realistic queues (e.g. 32 processors each
+// fetching a page) while damping the cross-epoch feedback.
+const maxQueueFactor = 64
+
+// Use requests a transfer of n bytes starting at virtual time now and
+// returns the completion time. The transfer begins at max(now, bus free
+// time), with the queueing delay bounded by maxQueueFactor occupancies,
+// and occupies the bus for its duration.
+func (b *Bus) Use(now, n int64) int64 {
+	if b == nil || b.bandwidth <= 0 || n <= 0 {
+		return now
+	}
+	occ := costs.Occupancy(n, b.bandwidth)
+	for {
+		free := b.freeAt.Load()
+		start := now
+		if free > start {
+			start = free
+		}
+		if cap := now + maxQueueFactor*occ; start > cap {
+			start = cap
+		}
+		end := start + occ
+		next := free
+		if end > next {
+			next = end
+		}
+		if b.freeAt.CompareAndSwap(free, next) {
+			return end
+		}
+	}
+}
+
+// Stall returns the extra time a computation of ns nanoseconds incurs
+// when it issues busBytes of memory traffic on a bus of the given
+// bandwidth shared by sharers concurrently-active processors. This
+// analytic model (every sharer gets an equal share of the bus) is
+// deterministic and fair, unlike timestamp-ordered reservations, which
+// misbehave under the loosely-synchronized clocks of direct execution.
+func Stall(ns, busBytes, sharers, bandwidth int64) int64 {
+	if busBytes <= 0 || bandwidth <= 0 || ns <= 0 {
+		return 0
+	}
+	if sharers < 1 {
+		sharers = 1
+	}
+	need := costs.Occupancy(busBytes*sharers, bandwidth)
+	if need <= ns {
+		return 0
+	}
+	return need - ns
+}
+
+// FreeAt reports the virtual time at which the bus next becomes free.
+func (b *Bus) FreeAt() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.freeAt.Load()
+}
+
+// Rendezvous is a reusable n-party barrier over virtual time: Wait blocks
+// until all n parties have arrived and returns the latest arrival time,
+// which becomes the common departure time.
+type Rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	maxTime int64
+	// release holds the departure time of the two generations that can
+	// be simultaneously active (sleepers of generation g and early
+	// arrivals of g+1), indexed by generation parity.
+	release [2]int64
+}
+
+// NewRendezvous returns a rendezvous for n parties. n must be positive.
+func NewRendezvous(n int) *Rendezvous {
+	if n <= 0 {
+		panic("sim: rendezvous requires at least one party")
+	}
+	r := &Rendezvous{n: n}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Wait records an arrival at virtual time now, blocks until all parties
+// have arrived, and returns the maximum arrival time.
+func (r *Rendezvous) Wait(now int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	gen := r.gen
+	if now > r.maxTime {
+		r.maxTime = now
+	}
+	r.arrived++
+	if r.arrived == r.n {
+		r.arrived = 0
+		r.release[gen%2] = r.maxTime
+		r.gen++
+		r.cond.Broadcast()
+		return r.maxTime
+	}
+	for r.gen == gen {
+		r.cond.Wait()
+	}
+	return r.release[gen%2]
+}
+
+// maxTime is deliberately never reset between generations: every party
+// departs a barrier at its release time, so all arrivals of the next
+// generation are at least the previous maximum, and keeping the running
+// maximum is semantically exact. Waiters read their own generation's
+// snapshot from release[] because a fast party may already have raised
+// maxTime for the next generation before they wake.
+
+// Parties returns the number of parties the rendezvous synchronizes.
+func (r *Rendezvous) Parties() int { return r.n }
+
+// VLock is a mutual-exclusion lock over virtual time. Grants follow the
+// host scheduler, which may disagree with virtual-time order: a caller
+// whose clock is still early may be granted the lock after a holder
+// whose critical section lies entirely in the caller's virtual future.
+// Only a critical section that virtually overlaps the caller's arrival
+// (it began at or before the caller's now) delays the caller — dragging
+// a virtually-early acquirer behind a virtually-late holder would
+// serialize work that, in virtual time, never contended.
+type VLock struct {
+	mu       sync.Mutex
+	heldAt   int64 // virtual start of the current/most recent critical section
+	released int64 // virtual end of the most recent critical section
+}
+
+// Acquire takes the lock for a caller whose clock reads now, charging
+// cost (the platform's lock acquire latency), and returns the virtual
+// time at which the caller holds the lock.
+func (l *VLock) Acquire(now, cost int64) int64 {
+	l.mu.Lock()
+	held := now
+	if now >= l.heldAt && l.released > now {
+		held = l.released
+	}
+	held += cost
+	l.heldAt = held
+	return held
+}
+
+// Release releases the lock, recording now as the critical section's
+// virtual end.
+func (l *VLock) Release(now int64) {
+	if now > l.released {
+		l.released = now
+	}
+	l.mu.Unlock()
+}
+
+// VFlag is a set-once synchronization flag over virtual time (the
+// paper's per-row availability flags in Gauss). Set publishes a virtual
+// set-time; Wait blocks until the flag is set and returns that time.
+// A flag may be Reset between uses when no waiter is active.
+type VFlag struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	set     bool
+	setTime int64
+}
+
+// NewVFlag returns an unset flag.
+func NewVFlag() *VFlag {
+	f := &VFlag{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Set marks the flag set as of virtual time now and wakes all waiters.
+// Setting an already-set flag keeps the earliest set time.
+func (f *VFlag) Set(now int64) {
+	f.mu.Lock()
+	if !f.set {
+		f.set = true
+		f.setTime = now
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Wait blocks until the flag is set and returns the virtual time at
+// which it was set.
+func (f *VFlag) Wait() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for !f.set {
+		f.cond.Wait()
+	}
+	return f.setTime
+}
+
+// IsSet reports whether the flag has been set.
+func (f *VFlag) IsSet() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set
+}
+
+// Reset returns the flag to the unset state. The caller must ensure no
+// goroutine is concurrently waiting.
+func (f *VFlag) Reset() {
+	f.mu.Lock()
+	f.set = false
+	f.setTime = 0
+	f.mu.Unlock()
+}

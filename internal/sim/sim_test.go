@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	c.Advance(50)
+	if c.Now() != 150 {
+		t.Errorf("Now = %d, want 150", c.Now())
+	}
+	c.Advance(-30)
+	if c.Now() != 150 {
+		t.Errorf("negative Advance moved the clock: %d", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	if w := c.AdvanceTo(250); w != 150 {
+		t.Errorf("wait = %d, want 150", w)
+	}
+	if c.Now() != 250 {
+		t.Errorf("Now = %d, want 250", c.Now())
+	}
+	if w := c.AdvanceTo(200); w != 0 {
+		t.Errorf("past AdvanceTo waited %d, want 0", w)
+	}
+	if c.Now() != 250 {
+		t.Errorf("past AdvanceTo moved clock back: %d", c.Now())
+	}
+}
+
+func TestBusSerialOccupancy(t *testing.T) {
+	b := NewBus(1 << 20) // 1 MB/s: 1 byte = ~954ns
+	end1 := b.Use(0, 1<<20)
+	if end1 != int64(time.Second) {
+		t.Errorf("first transfer ends at %d, want 1s", end1)
+	}
+	// Second transfer requested at time 0 must queue behind the first.
+	end2 := b.Use(0, 1<<20)
+	if end2 != 2*int64(time.Second) {
+		t.Errorf("queued transfer ends at %d, want 2s", end2)
+	}
+	// A transfer requested after the bus is free starts immediately.
+	end3 := b.Use(5*int64(time.Second), 1<<20)
+	if end3 != 6*int64(time.Second) {
+		t.Errorf("late transfer ends at %d, want 6s", end3)
+	}
+	if b.FreeAt() != end3 {
+		t.Errorf("FreeAt = %d, want %d", b.FreeAt(), end3)
+	}
+}
+
+func TestBusZeroBandwidth(t *testing.T) {
+	b := NewBus(0)
+	if end := b.Use(42, 1000); end != 42 {
+		t.Errorf("zero-bandwidth bus delayed transfer: %d", end)
+	}
+	var nilBus *Bus
+	if end := nilBus.Use(42, 1000); end != 42 {
+		t.Errorf("nil bus delayed transfer: %d", end)
+	}
+	if nilBus.FreeAt() != 0 {
+		t.Errorf("nil bus FreeAt = %d", nilBus.FreeAt())
+	}
+}
+
+func TestBusConcurrent(t *testing.T) {
+	b := NewBus(100 << 20)
+	const workers = 8
+	const transfers = 200
+	const size = 4096
+	occ := int64(size) * int64(time.Second) / (100 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				if end := b.Use(0, size); end > (maxQueueFactor+1)*occ {
+					t.Errorf("transfer completed at %d, above queue cap %d",
+						end, (maxQueueFactor+1)*occ)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// With every request at time 0, queueing is bounded by the cap.
+	if got := b.FreeAt(); got > (maxQueueFactor+1)*occ {
+		t.Errorf("FreeAt = %d, above cap %d", got, (maxQueueFactor+1)*occ)
+	}
+	if got := b.FreeAt(); got < maxQueueFactor*occ {
+		t.Errorf("FreeAt = %d, queue never built up to the cap %d", got, maxQueueFactor*occ)
+	}
+}
+
+func TestBusQueueCap(t *testing.T) {
+	// A request from a processor whose clock lags far behind a prior
+	// reservation waits at most maxQueueFactor occupancies.
+	b := NewBus(1 << 20)
+	occ := int64(1000) * int64(time.Second) / (1 << 20)
+	b.Use(int64(time.Hour), 1000) // a reservation far in the future
+	end := b.Use(0, 1000)
+	if end > (maxQueueFactor+1)*occ {
+		t.Errorf("lagging transfer completed at %d, want <= %d", end, (maxQueueFactor+1)*occ)
+	}
+}
+
+func TestStall(t *testing.T) {
+	// One sharer moving 1000 bytes in 1us on a 1GB/s bus: occupancy
+	// ~1us, no stall.
+	if got := Stall(1000, 1000, 1, 1<<30); got != 0 {
+		t.Errorf("uncontended stall = %d", got)
+	}
+	// Four sharers at the same rate need 4x the bus: stall ~3x ns.
+	ns := int64(1000)
+	got := Stall(ns, 1000, 4, 1<<30)
+	occ4 := int64(4000) * int64(time.Second) / (1 << 30)
+	if got != occ4-ns {
+		t.Errorf("4-sharer stall = %d, want %d", got, occ4-ns)
+	}
+	// Degenerate inputs.
+	if Stall(0, 100, 4, 1<<30) != 0 || Stall(100, 0, 4, 1<<30) != 0 || Stall(100, 100, 4, 0) != 0 {
+		t.Error("degenerate Stall inputs must yield 0")
+	}
+	if Stall(10, 1<<20, 0, 1<<20) <= 0 {
+		t.Error("zero sharers clamps to one, still stalls when saturated")
+	}
+}
+
+func TestRendezvousReturnsMaxArrival(t *testing.T) {
+	r := NewRendezvous(3)
+	times := []int64{100, 300, 200}
+	out := make([]int64, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = r.Wait(times[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range out {
+		if v != 300 {
+			t.Errorf("party %d released at %d, want 300", i, v)
+		}
+	}
+	if r.Parties() != 3 {
+		t.Errorf("Parties = %d", r.Parties())
+	}
+}
+
+func TestRendezvousReusable(t *testing.T) {
+	r := NewRendezvous(2)
+	var wg sync.WaitGroup
+	rel := make([][]int64, 2)
+	for i := 0; i < 2; i++ {
+		rel[i] = make([]int64, 3)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			now := int64(10 * (i + 1))
+			for round := 0; round < 3; round++ {
+				now = r.Wait(now) + int64(i)
+				rel[i][round] = now
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Round 0 releases at max(10,20)=20; each round's release must be
+	// strictly increasing and identical (modulo the +i skew applied
+	// after release).
+	if rel[0][0] != 20 || rel[1][0] != 21 {
+		t.Errorf("round 0 releases = %d,%d want 20,21", rel[0][0], rel[1][0])
+	}
+	for round := 1; round < 3; round++ {
+		if rel[0][round] <= rel[0][round-1] {
+			t.Errorf("round %d release %d not after previous %d",
+				round, rel[0][round], rel[0][round-1])
+		}
+		if rel[1][round] != rel[0][round]+1 {
+			t.Errorf("round %d parties released at different times: %d vs %d",
+				round, rel[0][round], rel[1][round])
+		}
+	}
+}
+
+func TestRendezvousSingleParty(t *testing.T) {
+	r := NewRendezvous(1)
+	if got := r.Wait(77); got != 77 {
+		t.Errorf("single-party rendezvous = %d, want 77", got)
+	}
+}
+
+func TestRendezvousPanicsOnZeroParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRendezvous(0) did not panic")
+		}
+	}()
+	NewRendezvous(0)
+}
+
+func TestVLockOverlapSemantics(t *testing.T) {
+	var l VLock
+	// First acquire: never held, no wait.
+	if held := l.Acquire(100, 10); held != 110 {
+		t.Errorf("first acquire held at %d, want 110", held)
+	}
+	l.Release(500)
+	// Overlapping arrival (after the CS began, before it ended): waits.
+	if held := l.Acquire(200, 10); held != 510 {
+		t.Errorf("overlapping acquire held at %d, want 510", held)
+	}
+	l.Release(600)
+	// Arrival after the previous release: no wait.
+	if held := l.Acquire(700, 10); held != 710 {
+		t.Errorf("late acquire held at %d, want 710", held)
+	}
+	l.Release(720)
+	// Virtually-early arrival (before the previous CS began): the host
+	// scheduler granted out of virtual order; the caller is not dragged
+	// into the future.
+	if held := l.Acquire(50, 10); held != 60 {
+		t.Errorf("virtually-early acquire held at %d, want 60", held)
+	}
+	l.Release(65)
+}
+
+func TestVLockMutualExclusion(t *testing.T) {
+	var l VLock
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			now := int64(0)
+			for j := 0; j < 100; j++ {
+				now = l.Acquire(now, 1)
+				counter++ // host mutex provides real exclusion
+				now++
+				l.Release(now)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 1600 {
+		t.Errorf("counter = %d, want 1600", counter)
+	}
+	// Workers whose clocks marched together serialize: the final
+	// release time reflects accumulated critical sections.
+	if held := l.Acquire(1<<40, 0); held != 1<<40 {
+		t.Errorf("fresh late acquire = %d, want its own now", held)
+	}
+	l.Release(1 << 40)
+}
+
+func TestVFlag(t *testing.T) {
+	f := NewVFlag()
+	if f.IsSet() {
+		t.Error("new flag is set")
+	}
+	done := make(chan int64)
+	go func() { done <- f.Wait() }()
+	f.Set(123)
+	if got := <-done; got != 123 {
+		t.Errorf("Wait = %d, want 123", got)
+	}
+	// Second Set keeps the earliest time.
+	f.Set(99)
+	if got := f.Wait(); got != 123 {
+		t.Errorf("Wait after re-Set = %d, want 123", got)
+	}
+	f.Reset()
+	if f.IsSet() {
+		t.Error("Reset flag still set")
+	}
+	f.Set(7)
+	if got := f.Wait(); got != 7 {
+		t.Errorf("Wait after Reset+Set = %d, want 7", got)
+	}
+}
+
+func TestVFlagManyWaiters(t *testing.T) {
+	f := NewVFlag()
+	const n = 20
+	out := make(chan int64, n)
+	for i := 0; i < n; i++ {
+		go func() { out <- f.Wait() }()
+	}
+	f.Set(55)
+	for i := 0; i < n; i++ {
+		if got := <-out; got != 55 {
+			t.Fatalf("waiter got %d, want 55", got)
+		}
+	}
+}
+
+func TestClockProperties(t *testing.T) {
+	f := func(steps []int16) bool {
+		var c Clock
+		prev := int64(0)
+		for _, s := range steps {
+			c.Advance(int64(s))
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package stats collects the protocol statistics the paper reports.
+//
+// Every category in Table 3 (read/write faults, page transfers, directory
+// updates, write notices, exclusive-mode transitions, data transferred,
+// twin creations, incoming diffs, flush-updates, shootdowns) has a
+// counter, and every component of the Figure 6 execution-time breakdown
+// (User, Protocol, Polling, Comm & Wait, Write Doubling) has a virtual-
+// time accumulator.
+//
+// A Proc value is owned by a single simulated processor and updated
+// without synchronization; Aggregate folds the per-processor values into
+// the cluster-wide totals reported by the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counter identifies one event counter.
+type Counter int
+
+// The protocol event counters of Table 3, plus a few internal ones used
+// by tests and ablations.
+const (
+	LockAcquires Counter = iota // application lock + flag acquires
+	Barriers
+	ReadFaults
+	WriteFaults
+	PageTransfers
+	DirectoryUpdates
+	WriteNotices
+	ExclTransitions // transitions into and out of exclusive mode
+	TwinCreations
+	IncomingDiffs
+	FlushUpdates
+	Shootdowns
+	PageFlushes // outgoing diff flushes to the home node
+	HomeMigrations
+	ExplicitRequests
+	numCounters
+)
+
+var counterNames = [...]string{
+	LockAcquires:     "LockAcquires",
+	Barriers:         "Barriers",
+	ReadFaults:       "ReadFaults",
+	WriteFaults:      "WriteFaults",
+	PageTransfers:    "PageTransfers",
+	DirectoryUpdates: "DirectoryUpdates",
+	WriteNotices:     "WriteNotices",
+	ExclTransitions:  "ExclTransitions",
+	TwinCreations:    "TwinCreations",
+	IncomingDiffs:    "IncomingDiffs",
+	FlushUpdates:     "FlushUpdates",
+	Shootdowns:       "Shootdowns",
+	PageFlushes:      "PageFlushes",
+	HomeMigrations:   "HomeMigrations",
+	ExplicitRequests: "ExplicitRequests",
+}
+
+// String returns the counter's name.
+func (c Counter) String() string {
+	if c >= 0 && int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("Counter(%d)", int(c))
+}
+
+// NumCounters is the number of defined counters.
+const NumCounters = int(numCounters)
+
+// Component identifies one band of the Figure 6 execution-time breakdown.
+type Component int
+
+// The five components of Figure 6.
+const (
+	User          Component = iota // user code, cache misses, trap entry
+	Protocol                       // time inside protocol code
+	Polling                        // message-poll instructions at loop heads
+	CommWait                       // communication and wait time
+	WriteDoubling                  // extra in-line stores (1L only)
+	numComponents
+)
+
+var componentNames = [...]string{
+	User:          "User",
+	Protocol:      "Protocol",
+	Polling:       "Polling",
+	CommWait:      "Comm & Wait",
+	WriteDoubling: "Write Doubling",
+}
+
+// String returns the component's display name as used in Figure 6.
+func (c Component) String() string {
+	if c >= 0 && int(c) < len(componentNames) {
+		return componentNames[c]
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// NumComponents is the number of breakdown components.
+const NumComponents = int(numComponents)
+
+// Proc accumulates statistics for one simulated processor. The zero
+// value is ready to use.
+type Proc struct {
+	Counts    [NumCounters]int64
+	Time      [NumComponents]int64 // virtual ns per breakdown component
+	DataBytes int64                // bytes moved across the Memory Channel
+}
+
+// Add increments counter c by n.
+func (p *Proc) Add(c Counter, n int64) { p.Counts[c] += n }
+
+// Inc increments counter c by one.
+func (p *Proc) Inc(c Counter) { p.Counts[c]++ }
+
+// Charge adds ns nanoseconds of virtual time to breakdown component c.
+func (p *Proc) Charge(c Component, ns int64) { p.Time[c] += ns }
+
+// Data records n bytes transferred across the Memory Channel.
+func (p *Proc) Data(n int64) { p.DataBytes += n }
+
+// Total is the aggregate over all processors of a run, plus the overall
+// execution time (the maximum finishing virtual time).
+type Total struct {
+	Counts    [NumCounters]int64
+	Time      [NumComponents]int64
+	DataBytes int64
+	ExecNS    int64 // wall (virtual) execution time of the slowest processor
+	Procs     int
+}
+
+// Aggregate folds per-processor stats and finishing times into a Total.
+func Aggregate(procs []*Proc, finish []int64) Total {
+	var t Total
+	t.Procs = len(procs)
+	for _, p := range procs {
+		for i := range p.Counts {
+			t.Counts[i] += p.Counts[i]
+		}
+		for i := range p.Time {
+			t.Time[i] += p.Time[i]
+		}
+		t.DataBytes += p.DataBytes
+	}
+	for _, f := range finish {
+		if f > t.ExecNS {
+			t.ExecNS = f
+		}
+	}
+	return t
+}
+
+// DataMB returns the total Memory Channel traffic in megabytes.
+func (t Total) DataMB() float64 { return float64(t.DataBytes) / (1 << 20) }
+
+// ExecSeconds returns the virtual execution time in seconds.
+func (t Total) ExecSeconds() float64 { return float64(t.ExecNS) / 1e9 }
+
+// BreakdownPercent returns each component's share of the summed
+// per-processor time, in percent. The shares total 100 for a non-empty
+// run.
+func (t Total) BreakdownPercent() [NumComponents]float64 {
+	var out [NumComponents]float64
+	var sum int64
+	for _, v := range t.Time {
+		sum += v
+	}
+	if sum == 0 {
+		return out
+	}
+	for i, v := range t.Time {
+		out[i] = 100 * float64(v) / float64(sum)
+	}
+	return out
+}
+
+// String renders the totals in a compact human-readable block.
+func (t Total) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec %.3fs over %d procs, %.2f MB transferred\n",
+		t.ExecSeconds(), t.Procs, t.DataMB())
+	for c := Counter(0); int(c) < NumCounters; c++ {
+		if t.Counts[c] != 0 {
+			fmt.Fprintf(&b, "  %-18s %d\n", c.String(), t.Counts[c])
+		}
+	}
+	pct := t.BreakdownPercent()
+	for c := Component(0); int(c) < NumComponents; c++ {
+		if t.Time[c] != 0 {
+			fmt.Fprintf(&b, "  %-18s %.1f%%\n", c.String(), pct[c])
+		}
+	}
+	return b.String()
+}

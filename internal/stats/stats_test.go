@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProcCounters(t *testing.T) {
+	var p Proc
+	p.Inc(ReadFaults)
+	p.Inc(ReadFaults)
+	p.Add(WriteNotices, 7)
+	if p.Counts[ReadFaults] != 2 {
+		t.Errorf("ReadFaults = %d, want 2", p.Counts[ReadFaults])
+	}
+	if p.Counts[WriteNotices] != 7 {
+		t.Errorf("WriteNotices = %d, want 7", p.Counts[WriteNotices])
+	}
+	if p.Counts[WriteFaults] != 0 {
+		t.Errorf("untouched counter = %d, want 0", p.Counts[WriteFaults])
+	}
+}
+
+func TestProcTimeAndData(t *testing.T) {
+	var p Proc
+	p.Charge(User, 100)
+	p.Charge(User, 50)
+	p.Charge(Protocol, 25)
+	p.Data(4096)
+	if p.Time[User] != 150 || p.Time[Protocol] != 25 {
+		t.Errorf("Time = %v", p.Time)
+	}
+	if p.DataBytes != 4096 {
+		t.Errorf("DataBytes = %d", p.DataBytes)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a, b := &Proc{}, &Proc{}
+	a.Inc(Barriers)
+	b.Inc(Barriers)
+	b.Add(PageTransfers, 3)
+	a.Charge(CommWait, 10)
+	b.Charge(CommWait, 30)
+	a.Data(100)
+	b.Data(200)
+	tot := Aggregate([]*Proc{a, b}, []int64{500, 900})
+	if tot.Counts[Barriers] != 2 {
+		t.Errorf("Barriers = %d, want 2", tot.Counts[Barriers])
+	}
+	if tot.Counts[PageTransfers] != 3 {
+		t.Errorf("PageTransfers = %d, want 3", tot.Counts[PageTransfers])
+	}
+	if tot.Time[CommWait] != 40 {
+		t.Errorf("CommWait = %d, want 40", tot.Time[CommWait])
+	}
+	if tot.DataBytes != 300 {
+		t.Errorf("DataBytes = %d, want 300", tot.DataBytes)
+	}
+	if tot.ExecNS != 900 {
+		t.Errorf("ExecNS = %d, want max finish 900", tot.ExecNS)
+	}
+	if tot.Procs != 2 {
+		t.Errorf("Procs = %d, want 2", tot.Procs)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	tot := Aggregate(nil, nil)
+	if tot.ExecNS != 0 || tot.Procs != 0 || tot.DataBytes != 0 {
+		t.Errorf("empty aggregate = %+v", tot)
+	}
+}
+
+func TestBreakdownPercentSumsTo100(t *testing.T) {
+	var p Proc
+	p.Charge(User, 600)
+	p.Charge(Protocol, 250)
+	p.Charge(Polling, 50)
+	p.Charge(CommWait, 100)
+	tot := Aggregate([]*Proc{&p}, []int64{1000})
+	pct := tot.BreakdownPercent()
+	sum := 0.0
+	for _, v := range pct {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Errorf("breakdown sums to %f, want 100", sum)
+	}
+	if math.Abs(pct[User]-60) > 1e-9 {
+		t.Errorf("User%% = %f, want 60", pct[User])
+	}
+}
+
+func TestBreakdownPercentZero(t *testing.T) {
+	var tot Total
+	pct := tot.BreakdownPercent()
+	for i, v := range pct {
+		if v != 0 {
+			t.Errorf("component %d = %f, want 0", i, v)
+		}
+	}
+}
+
+func TestDataMB(t *testing.T) {
+	tot := Total{DataBytes: 3 << 20}
+	if tot.DataMB() != 3 {
+		t.Errorf("DataMB = %f, want 3", tot.DataMB())
+	}
+}
+
+func TestCounterNames(t *testing.T) {
+	if ReadFaults.String() != "ReadFaults" {
+		t.Errorf("ReadFaults.String() = %q", ReadFaults.String())
+	}
+	if Shootdowns.String() != "Shootdowns" {
+		t.Errorf("Shootdowns.String() = %q", Shootdowns.String())
+	}
+	for c := Counter(0); int(c) < NumCounters; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "Counter(") {
+			t.Errorf("counter %d has no name", int(c))
+		}
+	}
+	if s := Counter(999).String(); !strings.HasPrefix(s, "Counter(") {
+		t.Errorf("out-of-range counter name = %q", s)
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	want := []string{"User", "Protocol", "Polling", "Comm & Wait", "Write Doubling"}
+	for i, w := range want {
+		if got := Component(i).String(); got != w {
+			t.Errorf("Component(%d).String() = %q, want %q", i, got, w)
+		}
+	}
+	if s := Component(99).String(); !strings.HasPrefix(s, "Component(") {
+		t.Errorf("out-of-range component name = %q", s)
+	}
+}
+
+func TestTotalString(t *testing.T) {
+	var p Proc
+	p.Inc(Barriers)
+	p.Charge(User, 1e9)
+	p.Data(1 << 20)
+	tot := Aggregate([]*Proc{&p}, []int64{2e9})
+	s := tot.String()
+	for _, want := range []string{"exec 2.000s", "Barriers", "User", "1.00 MB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package wnotice
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGlobalPostDrain(t *testing.T) {
+	g := NewGlobal(4)
+	g.Post(0, 10)
+	g.Post(2, 20)
+	g.Post(0, 11)
+	if got := g.Pending(); got != 3 {
+		t.Errorf("Pending = %d, want 3", got)
+	}
+	got := g.Drain()
+	sort.Ints(got)
+	want := []int{10, 11, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Drain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain = %v, want %v", got, want)
+		}
+	}
+	if g.Pending() != 0 {
+		t.Errorf("Pending after drain = %d", g.Pending())
+	}
+	if out := g.Drain(); len(out) != 0 {
+		t.Errorf("second Drain = %v", out)
+	}
+}
+
+func TestGlobalPerBinOrder(t *testing.T) {
+	g := NewGlobal(2)
+	for i := 0; i < 10; i++ {
+		g.Post(1, i)
+	}
+	got := g.Drain()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("bin order violated: %v", got)
+		}
+	}
+}
+
+func TestGlobalConcurrentSenders(t *testing.T) {
+	const senders = 8
+	const per = 500
+	g := NewGlobal(senders)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Post(s, s*per+i)
+			}
+		}(s)
+	}
+	wg.Wait()
+	got := g.Drain()
+	if len(got) != senders*per {
+		t.Fatalf("drained %d notices, want %d", len(got), senders*per)
+	}
+	seen := make(map[int]bool, len(got))
+	for _, p := range got {
+		if seen[p] {
+			t.Fatalf("duplicate notice %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestPerProcDedup(t *testing.T) {
+	p := NewPerProc(128)
+	if !p.Add(5) {
+		t.Error("first Add returned false")
+	}
+	if p.Add(5) {
+		t.Error("duplicate Add returned true")
+	}
+	if !p.Add(64) {
+		t.Error("Add in second bitmap word returned false")
+	}
+	if !p.Has(5) || !p.Has(64) || p.Has(6) {
+		t.Error("Has() wrong")
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+	got := p.Flush()
+	if len(got) != 2 || got[0] != 5 || got[1] != 64 {
+		t.Errorf("Flush = %v, want [5 64]", got)
+	}
+	if p.Len() != 0 || p.Has(5) {
+		t.Error("Flush did not clear state")
+	}
+	// After a flush the same page may be posted again.
+	if !p.Add(5) {
+		t.Error("Add after Flush returned false")
+	}
+}
+
+func TestPerProcFlushEmpty(t *testing.T) {
+	p := NewPerProc(10)
+	if got := p.Flush(); got != nil {
+		t.Errorf("Flush of empty list = %v", got)
+	}
+}
+
+func TestPerProcConcurrent(t *testing.T) {
+	p := NewPerProc(1024)
+	var wg sync.WaitGroup
+	var added sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1024; i++ {
+				if p.Add(i) {
+					if _, loaded := added.LoadOrStore(i, w); loaded {
+						t.Errorf("page %d newly-added twice", i)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := p.Flush()
+	if len(got) != 1024 {
+		t.Errorf("flushed %d pages, want 1024", len(got))
+	}
+}
+
+func TestPerProcProperty(t *testing.T) {
+	// Flushing always yields exactly the set of distinct pages added
+	// since the previous flush.
+	f := func(pages []uint8) bool {
+		p := NewPerProc(256)
+		want := map[int]bool{}
+		for _, pg := range pages {
+			p.Add(int(pg))
+			want[int(pg)] = true
+		}
+		got := p.Flush()
+		if len(got) != len(want) {
+			return false
+		}
+		for _, pg := range got {
+			if !want[pg] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocked(t *testing.T) {
+	l := NewLocked()
+	const lockCost = 11
+	now := l.Post(100, 1, lockCost)
+	if now != 111 {
+		t.Errorf("Post time = %d, want 111", now)
+	}
+	// A poster arriving after the first critical section completed pays
+	// only the lock cost.
+	now2 := l.Post(200, 2, lockCost)
+	if now2 != 211 {
+		t.Errorf("second Post time = %d, want 211", now2)
+	}
+	pages, now3 := l.Drain(now2+5, lockCost)
+	if now3 != now2+5+lockCost {
+		t.Errorf("Drain time = %d, want %d", now3, now2+5+lockCost)
+	}
+	if len(pages) != 2 || pages[0] != 1 || pages[1] != 2 {
+		t.Errorf("Drain pages = %v", pages)
+	}
+	pages, _ = l.Drain(now3, lockCost)
+	if len(pages) != 0 {
+		t.Errorf("second Drain = %v", pages)
+	}
+}
