@@ -78,8 +78,13 @@ type Suite struct {
 	// (scaled-down) evaluation sizes.
 	Quick bool
 
-	mu    sync.Mutex
-	cache map[runKey]runOut
+	mu       sync.Mutex
+	cache    map[runKey]runOut
+	inflight map[runKey]*flight
+
+	// exec performs one experiment cell; tests may substitute it to
+	// count or fail executions.
+	exec func(name string, v Variant, topo Topology) (core.Result, error)
 }
 
 type runKey struct {
@@ -93,9 +98,22 @@ type runOut struct {
 	err error
 }
 
+// flight is an in-progress execution of one cell: latecomers for the
+// same key block on done instead of executing the cell again.
+type flight struct {
+	done chan struct{}
+	out  runOut
+}
+
 // NewSuite returns an empty suite.
 func NewSuite(quick bool) *Suite {
-	return &Suite{Quick: quick, cache: make(map[runKey]runOut)}
+	s := &Suite{
+		Quick:    quick,
+		cache:    make(map[runKey]runOut),
+		inflight: make(map[runKey]*flight),
+	}
+	s.exec = s.execute
+	return s
 }
 
 // appInstance returns a fresh instance of the named application at the
@@ -123,7 +141,9 @@ func AppNames() []string {
 }
 
 // Run executes (with caching) the named application under the variant
-// and topology and returns its statistics.
+// and topology and returns its statistics. Concurrent calls for the
+// same cell are deduplicated: one caller executes, the rest block on
+// its in-flight entry and share the result (singleflight).
 func (s *Suite) Run(name string, v Variant, topo Topology) (core.Result, error) {
 	key := runKey{name, v, topo}
 	s.mu.Lock()
@@ -131,8 +151,28 @@ func (s *Suite) Run(name string, v Variant, topo Topology) (core.Result, error) 
 		s.mu.Unlock()
 		return out.res, out.err
 	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.out.res, f.out.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
 	s.mu.Unlock()
 
+	res, err := s.exec(name, v, topo)
+
+	s.mu.Lock()
+	s.cache[key] = runOut{res, err}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	f.out = runOut{res, err}
+	close(f.done)
+	return res, err
+}
+
+// execute performs one experiment cell uncached.
+func (s *Suite) execute(name string, v Variant, topo Topology) (core.Result, error) {
 	app := s.appInstance(name)
 	if app == nil {
 		return core.Result{}, fmt.Errorf("bench: unknown application %q", name)
@@ -145,12 +185,7 @@ func (s *Suite) Run(name string, v Variant, topo Topology) (core.Result, error) 
 		LockBasedMeta: v.LockBased,
 		UseInterrupts: v.Interrupts,
 	}
-	res, err := apps.Run(app, cfg)
-
-	s.mu.Lock()
-	s.cache[key] = runOut{res, err}
-	s.mu.Unlock()
-	return res, err
+	return apps.Run(app, cfg)
 }
 
 // Speedup returns the named application's speedup for a cached or fresh

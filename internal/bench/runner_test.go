@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cashmere/internal/core"
+)
+
+// TestSingleflightDedup is the regression test for the Suite.Run cache
+// race: the seed's check-then-act on s.cache let two concurrent callers
+// both miss and execute the same cell twice. With the singleflight
+// in-flight entry, exactly one caller executes and the rest share its
+// result.
+func TestSingleflightDedup(t *testing.T) {
+	s := NewSuite(true)
+	var execs atomic.Int64
+	s.exec = func(name string, v Variant, topo Topology) (core.Result, error) {
+		execs.Add(1)
+		// Widen the race window: the seed's implementation would let
+		// every waiter fall through the cache miss during this sleep.
+		time.Sleep(50 * time.Millisecond)
+		res := core.Result{}
+		res.ExecNS = 12345
+		return res, nil
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]core.Result, callers)
+	v := Variant{Kind: core.TwoLevel}
+	topo := Topology{2, 2}
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Run("SOR", v, topo)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Errorf("cell executed %d times for %d concurrent callers, want 1", n, callers)
+	}
+	for i, res := range results {
+		if res.ExecNS != 12345 {
+			t.Errorf("caller %d got ExecNS=%d, want shared result 12345", i, res.ExecNS)
+		}
+	}
+
+	// A different key still executes.
+	if _, err := s.Run("SOR", v, Topology{4, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := execs.Load(); n != 2 {
+		t.Errorf("second key: %d executions, want 2", n)
+	}
+}
