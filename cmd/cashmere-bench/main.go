@@ -8,12 +8,23 @@
 //	cashmere-bench -figure 7      # one figure (6 or 7)
 //	cashmere-bench -ablation shootdown|lockfree
 //	cashmere-bench -quick -all    # tiny problem sizes (seconds)
+//	cashmere-bench -all -j 8      # eight experiment cells in parallel
+//	cashmere-bench -all -json out.json -timeout 2m
+//
+// Experiment cells (application x protocol variant x topology) execute
+// through a bounded worker pool; -j sets its width (default GOMAXPROCS).
+// A panicking or timed-out cell is marked FAIL in the rendered output
+// while the rest of the evaluation proceeds; any failure makes the
+// command exit nonzero after rendering. -json records every completed
+// cell (including failures) in a machine-readable results file whose
+// schema is documented in EXPERIMENTS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"cashmere/internal/bench"
 )
@@ -25,13 +36,29 @@ func main() {
 		table    = flag.String("table", "", `table to regenerate: "1", "2", "3", or "costs"`)
 		figure   = flag.String("figure", "", `figure to regenerate: "6" or "7"`)
 		ablation = flag.String("ablation", "", `ablation to run: "shootdown" or "lockfree"`)
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "experiment cells to execute in parallel")
+		jsonPath = flag.String("json", "", "write machine-readable per-cell results to this file")
+		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock timeout (0 = none)")
+		progress = flag.Bool("progress", stderrIsTerminal(), "live progress line on stderr")
 	)
 	flag.Parse()
 
 	s := bench.NewSuite(*quick)
+	s.SetWorkers(*workers)
+	s.SetTimeout(*timeout)
+	if *progress {
+		s.SetProgress(os.Stderr)
+	}
+	var sink *bench.JSONSink
+	if *jsonPath != "" {
+		sink = bench.NewJSONSink(*quick, *workers)
+		s.SetJSON(sink)
+	}
+
 	w := os.Stdout
 	fail := func(err error) {
 		if err != nil {
+			s.Close()
 			fmt.Fprintln(os.Stderr, "cashmere-bench:", err)
 			os.Exit(1)
 		}
@@ -40,6 +67,11 @@ func main() {
 	ran := false
 	sep := func() { fmt.Fprintln(w) }
 
+	if *all {
+		// Schedule the whole evaluation up front so later sections
+		// compute while earlier ones render.
+		s.PrefetchAll()
+	}
 	if *all || *table == "costs" {
 		bench.BasicCosts(w)
 		sep()
@@ -80,8 +112,34 @@ func main() {
 		sep()
 		ran = true
 	}
+	s.Close()
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if sink != nil {
+		f, err := os.Create(*jsonPath)
+		fail(err)
+		_, err = sink.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fail(err)
+	}
+
+	if fails := s.FailedCells(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "cashmere-bench: %d cell(s) failed:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, " ", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// stderrIsTerminal reports whether stderr is a character device, the
+// default for enabling the live progress line.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

@@ -15,8 +15,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"cashmere/internal/apps"
 	"cashmere/internal/core"
@@ -72,19 +73,22 @@ var Figure7Topologies = []Topology{
 // FullCluster is the paper's full platform: eight 4-processor nodes.
 var FullCluster = Topology{Nodes: 8, PPN: 4}
 
-// Suite runs and caches experiment executions.
+// Suite runs and caches experiment executions through a bounded
+// concurrent runner: cells execute in parallel (each is an independent
+// simulated cluster), concurrent requests for the same cell are
+// deduplicated (singleflight), a panicking cell reports an error
+// instead of killing the evaluation, and cells can be bounded by a
+// wall-clock timeout.
 type Suite struct {
 	// Quick selects the tiny test problem sizes instead of the default
 	// (scaled-down) evaluation sizes.
 	Quick bool
 
-	mu       sync.Mutex
-	cache    map[runKey]runOut
-	inflight map[runKey]*flight
-
 	// exec performs one experiment cell; tests may substitute it to
 	// count or fail executions.
 	exec func(name string, v Variant, topo Topology) (core.Result, error)
+
+	r *runner
 }
 
 type runKey struct {
@@ -93,28 +97,45 @@ type runKey struct {
 	topo Topology
 }
 
-type runOut struct {
-	res core.Result
-	err error
-}
-
-// flight is an in-progress execution of one cell: latecomers for the
-// same key block on done instead of executing the cell again.
-type flight struct {
-	done chan struct{}
-	out  runOut
-}
-
-// NewSuite returns an empty suite.
+// NewSuite returns an empty suite with a worker pool of GOMAXPROCS
+// cells.
 func NewSuite(quick bool) *Suite {
-	s := &Suite{
-		Quick:    quick,
-		cache:    make(map[runKey]runOut),
-		inflight: make(map[runKey]*flight),
-	}
+	s := &Suite{Quick: quick}
 	s.exec = s.execute
+	s.r = newRunner(runtime.GOMAXPROCS(0), func(k runKey) (core.Result, error) {
+		return s.exec(k.app, k.v, k.topo)
+	})
 	return s
 }
+
+// SetWorkers sets the number of experiment cells executing
+// concurrently. It must be called before the first Run or prefetch.
+func (s *Suite) SetWorkers(n int) { s.r.setWorkers(n) }
+
+// Workers returns the worker-pool width.
+func (s *Suite) Workers() int { return s.r.workers() }
+
+// SetTimeout bounds each cell's host wall-clock execution time; a cell
+// exceeding it is marked failed (its error appears in the rendered
+// tables and the JSON results) while the rest of the evaluation
+// proceeds. Zero disables the bound.
+func (s *Suite) SetTimeout(d time.Duration) { s.r.timeout = d }
+
+// SetProgress enables a live progress line (cells done/total, current
+// slowest cell) written to w, typically stderr. Call Close to
+// terminate the line.
+func (s *Suite) SetProgress(w io.Writer) { s.r.prog = newProgress(w) }
+
+// SetJSON attaches a sink recording every completed cell for the
+// machine-readable results file.
+func (s *Suite) SetJSON(sink *JSONSink) { s.r.sink = sink }
+
+// Close terminates the progress line, if one is active.
+func (s *Suite) Close() { s.r.prog.close() }
+
+// FailedCells returns a sorted description of every failed cell
+// (errored, panicked, or timed out) executed so far.
+func (s *Suite) FailedCells() []string { return s.r.failed() }
 
 // appInstance returns a fresh instance of the named application at the
 // suite's problem size.
@@ -145,30 +166,44 @@ func AppNames() []string {
 // same cell are deduplicated: one caller executes, the rest block on
 // its in-flight entry and share the result (singleflight).
 func (s *Suite) Run(name string, v Variant, topo Topology) (core.Result, error) {
-	key := runKey{name, v, topo}
-	s.mu.Lock()
-	if out, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return out.res, out.err
-	}
-	if f, ok := s.inflight[key]; ok {
-		s.mu.Unlock()
-		<-f.done
-		return f.out.res, f.out.err
-	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.mu.Unlock()
+	return s.r.run(runKey{name, v, topo})
+}
 
-	res, err := s.exec(name, v, topo)
+// Prefetch schedules cells for every application under the given
+// variants and topologies through the worker pool without waiting for
+// them; later Run calls for the same cells join the in-flight
+// executions. Renderers prefetch the cells they need, so tables and
+// figures compute in parallel while rendering stays serial and
+// deterministic given the cached results.
+func (s *Suite) Prefetch(variants []Variant, topos []Topology) {
+	var keys []runKey
+	for _, name := range AppNames() {
+		for _, v := range variants {
+			for _, topo := range topos {
+				keys = append(keys, runKey{name, v, topo})
+			}
+		}
+	}
+	s.r.prefetch(keys)
+}
 
-	s.mu.Lock()
-	s.cache[key] = runOut{res, err}
-	delete(s.inflight, key)
-	s.mu.Unlock()
-	f.out = runOut{res, err}
-	close(f.done)
-	return res, err
+// PrefetchAll schedules every cell of the full evaluation (Tables 3,
+// Figures 6-7, and both ablations); used by the -all driver so late
+// sections compute while early ones render.
+func (s *Suite) PrefetchAll() {
+	s.Prefetch(allVariants(), []Topology{FullCluster})
+	s.Prefetch(Figure7Variants, Figure7Topologies)
+}
+
+// allVariants returns every protocol variant used at the full cluster
+// configuration: the four main columns plus the ablation variants.
+func allVariants() []Variant {
+	vs := append([]Variant(nil), FourProtocols...)
+	vs = append(vs,
+		Variant{Kind: core.TwoLevelSD, Interrupts: true},
+		Variant{Kind: core.TwoLevel, LockBased: true},
+	)
+	return vs
 }
 
 // execute performs one experiment cell uncached.
@@ -221,10 +256,10 @@ func bar(v, max float64, width int) string {
 
 // sortedKeys is a test helper exposing the cached run set.
 func (s *Suite) sortedKeys() []runKey {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]runKey, 0, len(s.cache))
-	for k := range s.cache {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	keys := make([]runKey, 0, len(s.r.results))
+	for k := range s.r.results {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {

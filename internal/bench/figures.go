@@ -13,6 +13,7 @@ import (
 // Doubling per application and protocol, normalized to Cashmere-2L's
 // total (paper Figure 6).
 func (s *Suite) Figure6(w io.Writer) error {
+	s.Prefetch(FourProtocols, []Topology{FullCluster})
 	line(w, "Figure 6: normalized execution time breakdown at %s (percent of 2L total)",
 		FullCluster.Label())
 	line(w, "%-8s %-6s %8s %9s %8s %10s %10s %8s", "App", "Proto",
@@ -20,13 +21,15 @@ func (s *Suite) Figure6(w io.Writer) error {
 	for _, name := range AppNames() {
 		base, err := s.Run(name, Variant{Kind: core.TwoLevel}, FullCluster)
 		if err != nil {
-			return err
+			line(w, "%-8s %-6s FAIL (2L baseline: %v)", name, "2L", err)
+			continue
 		}
 		baseSum := timeSum(base)
 		for _, v := range FourProtocols {
 			res, err := s.Run(name, v, FullCluster)
 			if err != nil {
-				return err
+				line(w, "%-8s %-6s FAIL", name, v.Label())
+				continue
 			}
 			t := res.Total
 			pct := func(c stats.Component) float64 {
@@ -69,6 +72,7 @@ var Figure7Variants = []Variant{
 // protocol variant across the nine cluster configurations (paper
 // Figure 7).
 func (s *Suite) Figure7(w io.Writer) error {
+	s.Prefetch(Figure7Variants, Figure7Topologies)
 	line(w, "Figure 7: speedups (sequential time / parallel virtual time)")
 	for _, name := range AppNames() {
 		line(w, "")
@@ -79,16 +83,20 @@ func (s *Suite) Figure7(w io.Writer) error {
 		}
 		line(w, "%s", header)
 		maxSp := 0.0
-		type cell struct{ sp float64 }
+		type cell struct {
+			sp     float64
+			failed bool
+		}
 		grid := make([][]cell, len(Figure7Topologies))
 		for ti, topo := range Figure7Topologies {
 			grid[ti] = make([]cell, len(Figure7Variants))
 			for vi, v := range Figure7Variants {
 				sp, err := s.Speedup(name, v, topo)
 				if err != nil {
-					return err
+					grid[ti][vi] = cell{failed: true}
+					continue
 				}
-				grid[ti][vi] = cell{sp}
+				grid[ti][vi] = cell{sp: sp}
 				if sp > maxSp {
 					maxSp = sp
 				}
@@ -97,18 +105,30 @@ func (s *Suite) Figure7(w io.Writer) error {
 		for ti, topo := range Figure7Topologies {
 			out := pad(topo.Label(), 8)
 			for vi := range Figure7Variants {
-				out += pad(fmtSp(grid[ti][vi].sp), 9)
+				out += pad(fmtCell(grid[ti][vi].sp, grid[ti][vi].failed), 9)
 			}
 			line(w, "%s", out)
 		}
 		// Bar chart of the full configuration.
 		line(w, "  at %s:", FullCluster.Label())
 		for vi, v := range Figure7Variants {
-			sp := grid[len(Figure7Topologies)-1][vi].sp
-			line(w, "  %-8s %6.2f |%s", v.Label(), sp, bar(sp, maxSp, 40))
+			c := grid[len(Figure7Topologies)-1][vi]
+			if c.failed {
+				line(w, "  %-8s   FAIL |", v.Label())
+				continue
+			}
+			line(w, "  %-8s %6.2f |%s", v.Label(), c.sp, bar(c.sp, maxSp, 40))
 		}
 	}
 	return nil
+}
+
+// fmtCell renders one Figure 7 grid cell, marking failed cells.
+func fmtCell(sp float64, failed bool) string {
+	if failed {
+		return "FAIL"
+	}
+	return fmtSp(sp)
 }
 
 func fmtSp(sp float64) string {

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"cashmere/internal/stats"
+)
+
+// JSON results output: every completed experiment cell is recorded in a
+// machine-readable file so benchmark trajectories can be diffed across
+// revisions. The file is a single JSON document:
+//
+//	{
+//	  "tool": "cashmere-bench",
+//	  "schema": 1,
+//	  "quick": true,
+//	  "workers": 4,
+//	  "cells": [
+//	    {
+//	      "app": "SOR",
+//	      "variant": "2L",
+//	      "topology": "32:4",
+//	      "procs": 32,
+//	      "exec_ns": 50123456,
+//	      "data_bytes": 744480,
+//	      "counts": {"Barriers": 14, "ReadFaults": 59, ...},
+//	      "time_ns": {"User": ..., "Protocol": ..., ...},
+//	      "wall_ns": 1834000,
+//	      "error": "..."          // present only for failed cells
+//	    }, ...
+//	  ]
+//	}
+//
+// Cells are sorted by (app, variant, topology) regardless of execution
+// order, so two runs of the same evaluation diff cleanly. Zero-valued
+// counters and components are omitted from the maps.
+
+// CellResult is one experiment cell in the results file.
+type CellResult struct {
+	App      string `json:"app"`
+	Variant  string `json:"variant"`
+	Topology string `json:"topology"`
+
+	// Procs is the number of simulated processors; zero for failed
+	// cells.
+	Procs int `json:"procs,omitempty"`
+
+	// ExecNS is the virtual execution time (stats.Total.ExecNS).
+	ExecNS int64 `json:"exec_ns"`
+
+	// DataBytes is the Memory Channel payload traffic.
+	DataBytes int64 `json:"data_bytes"`
+
+	// Counts holds the nonzero protocol event counters by name.
+	Counts map[string]int64 `json:"counts,omitempty"`
+
+	// TimeNS holds the nonzero execution-time breakdown components by
+	// name, in virtual nanoseconds.
+	TimeNS map[string]int64 `json:"time_ns,omitempty"`
+
+	// WallNS is the host wall-clock time spent executing the cell.
+	WallNS int64 `json:"wall_ns"`
+
+	// Error is the failure message of a failed (errored, panicked, or
+	// timed-out) cell; empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// ResultsFile is the top-level document of the JSON results output.
+type ResultsFile struct {
+	Tool    string       `json:"tool"`
+	Schema  int          `json:"schema"`
+	Quick   bool         `json:"quick"`
+	Workers int          `json:"workers"`
+	Cells   []CellResult `json:"cells"`
+}
+
+// JSONSink accumulates per-cell results as the evaluation runs and
+// serializes them on WriteTo. It is safe for concurrent use.
+type JSONSink struct {
+	mu   sync.Mutex
+	file ResultsFile
+}
+
+// NewJSONSink returns a sink describing an evaluation at the given
+// problem size and worker-pool width.
+func NewJSONSink(quick bool, workers int) *JSONSink {
+	return &JSONSink{file: ResultsFile{Tool: "cashmere-bench", Schema: 1, Quick: quick, Workers: workers}}
+}
+
+// add records one completed cell.
+func (s *JSONSink) add(key runKey, out cellOut) {
+	cr := CellResult{
+		App:      key.app,
+		Variant:  key.v.Label(),
+		Topology: key.topo.Label(),
+		WallNS:   out.wallNS,
+	}
+	if out.err != nil {
+		cr.Error = out.err.Error()
+	} else {
+		t := out.res.Total
+		cr.Procs = t.Procs
+		cr.ExecNS = t.ExecNS
+		cr.DataBytes = t.DataBytes
+		cr.Counts = make(map[string]int64)
+		for c := stats.Counter(0); int(c) < stats.NumCounters; c++ {
+			if t.Counts[c] != 0 {
+				cr.Counts[c.String()] = t.Counts[c]
+			}
+		}
+		cr.TimeNS = make(map[string]int64)
+		for c := stats.Component(0); int(c) < stats.NumComponents; c++ {
+			if t.Time[c] != 0 {
+				cr.TimeNS[c.String()] = t.Time[c]
+			}
+		}
+	}
+	s.mu.Lock()
+	s.file.Cells = append(s.file.Cells, cr)
+	s.mu.Unlock()
+}
+
+// Len returns the number of recorded cells.
+func (s *JSONSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.file.Cells)
+}
+
+// WriteTo serializes the collected results as indented JSON, with
+// cells sorted by (app, variant, topology) for stable diffs.
+func (s *JSONSink) WriteTo(w io.Writer) (int64, error) {
+	s.mu.Lock()
+	file := s.file
+	file.Cells = append([]CellResult(nil), s.file.Cells...)
+	s.mu.Unlock()
+	sort.Slice(file.Cells, func(i, j int) bool {
+		a, b := file.Cells[i], file.Cells[j]
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Variant != b.Variant {
+			return a.Variant < b.Variant
+		}
+		return a.Topology < b.Topology
+	})
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"cashmere/internal/core"
+)
+
+// runner is the Suite's concurrent execution engine: a bounded worker
+// pool with singleflight deduplication, per-cell panic recovery, and
+// optional per-cell wall-clock timeouts. Every experiment cell is an
+// independent core.Cluster, so cells parallelize freely at the host
+// level; the pool bounds how many simulated clusters run at once.
+type runner struct {
+	timeout time.Duration
+	exec    func(key runKey) (core.Result, error)
+
+	sem chan struct{} // bounded worker slots
+
+	mu       sync.Mutex
+	results  map[runKey]cellOut
+	inflight map[runKey]*flight
+
+	prog *progress
+	sink *JSONSink
+}
+
+// cellOut is the outcome of one executed cell.
+type cellOut struct {
+	res    core.Result
+	err    error
+	wallNS int64 // host wall-clock time spent executing
+}
+
+// flight is an in-progress execution of one cell: latecomers for the
+// same key block on done instead of executing the cell again
+// (singleflight).
+type flight struct {
+	done chan struct{}
+	out  cellOut
+}
+
+// newRunner returns a runner executing cells through exec with the
+// given worker-pool width.
+func newRunner(workers int, exec func(runKey) (core.Result, error)) *runner {
+	r := &runner{
+		exec:     exec,
+		results:  make(map[runKey]cellOut),
+		inflight: make(map[runKey]*flight),
+	}
+	r.setWorkers(workers)
+	return r
+}
+
+// setWorkers resizes the worker pool. It must not be called after the
+// first run or prefetch.
+func (r *runner) setWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.sem = make(chan struct{}, n)
+}
+
+// workers returns the worker-pool width.
+func (r *runner) workers() int { return cap(r.sem) }
+
+// run executes the cell identified by key, deduplicating against
+// concurrent and past executions, and returns its result.
+func (r *runner) run(key runKey) (core.Result, error) {
+	r.mu.Lock()
+	if out, ok := r.results[key]; ok {
+		r.mu.Unlock()
+		return out.res, out.err
+	}
+	if f, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.out.res, f.out.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[key] = f
+	r.mu.Unlock()
+	r.prog.scheduled()
+
+	r.sem <- struct{}{} // acquire a worker slot
+	r.prog.started(key)
+	start := time.Now()
+	res, err := r.execCell(key)
+	out := cellOut{res: res, err: err, wallNS: time.Since(start).Nanoseconds()}
+	<-r.sem
+
+	r.mu.Lock()
+	r.results[key] = out
+	delete(r.inflight, key)
+	r.mu.Unlock()
+	f.out = out
+	close(f.done)
+	r.prog.finished(key)
+	if r.sink != nil {
+		r.sink.add(key, out)
+	}
+	return out.res, out.err
+}
+
+// execCell performs one cell with panic recovery and, if configured, a
+// wall-clock timeout. A panicking cell (a diverging application or a
+// protocol bug) reports an error instead of killing the whole
+// evaluation; a timed-out cell is marked failed and abandoned (its
+// goroutine cannot be cancelled — the cluster runs to completion or
+// diverges in the background — but the rest of the evaluation
+// proceeds).
+func (r *runner) execCell(key runKey) (core.Result, error) {
+	ch := make(chan cellOut, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- cellOut{err: fmt.Errorf("bench: %s panicked: %v\n%s",
+					keyLabel(key), p, debug.Stack())}
+			}
+		}()
+		res, err := r.exec(key)
+		ch <- cellOut{res: res, err: err}
+	}()
+	if r.timeout <= 0 {
+		out := <-ch
+		return out.res, out.err
+	}
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-timer.C:
+		return core.Result{}, fmt.Errorf("bench: %s timed out after %v (cell abandoned)",
+			keyLabel(key), r.timeout)
+	}
+}
+
+// prefetch schedules keys through the worker pool without waiting for
+// them: renderers then pull each cell through run, which joins the
+// in-flight execution. Cells already completed or in flight are
+// deduplicated by run itself.
+func (r *runner) prefetch(keys []runKey) {
+	for _, k := range keys {
+		go r.run(k)
+	}
+}
+
+// failed returns the labels and errors of every failed cell, sorted.
+func (r *runner) failed() []string {
+	r.mu.Lock()
+	var out []string
+	for k, o := range r.results {
+		if o.err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", keyLabel(k), o.err))
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// keyLabel renders a cell key as app/variant/topology.
+func keyLabel(k runKey) string {
+	return fmt.Sprintf("%s/%s/%s", k.app, k.v.Label(), k.topo.Label())
+}
+
+// progress renders a live one-line status of the evaluation: cells
+// done/total, cells running, and the cell that has been running the
+// longest (the current slowest). A nil *progress discards all updates,
+// so call sites need no checks.
+type progress struct {
+	w io.Writer
+
+	mu      sync.Mutex
+	total   int
+	done    int
+	running map[runKey]time.Time
+	wrote   bool
+}
+
+func newProgress(w io.Writer) *progress {
+	return &progress{w: w, running: make(map[runKey]time.Time)}
+}
+
+func (p *progress) scheduled() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total++
+	p.mu.Unlock()
+}
+
+func (p *progress) started(key runKey) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.running[key] = time.Now()
+	p.render()
+	p.mu.Unlock()
+}
+
+func (p *progress) finished(key runKey) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.running, key)
+	p.done++
+	p.render()
+	p.mu.Unlock()
+}
+
+// render writes the status line. Called with p.mu held.
+func (p *progress) render() {
+	slowest := ""
+	var slowStart time.Time
+	for k, t := range p.running {
+		if slowest == "" || t.Before(slowStart) {
+			slowest, slowStart = keyLabel(k), t
+		}
+	}
+	line := fmt.Sprintf("\rbench: %d/%d cells done, %d running", p.done, p.total, len(p.running))
+	if slowest != "" {
+		line += fmt.Sprintf(", slowest %s (%.1fs)", slowest, time.Since(slowStart).Seconds())
+	}
+	// Pad to overwrite a longer previous line.
+	if len(line) < 79 {
+		line += fmt.Sprintf("%*s", 79-len(line), "")
+	}
+	fmt.Fprint(p.w, line)
+	p.wrote = true
+}
+
+// close terminates the progress line with a newline if anything was
+// written.
+func (p *progress) close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.wrote {
+		fmt.Fprintln(p.w)
+		p.wrote = false
+	}
+	p.mu.Unlock()
+}

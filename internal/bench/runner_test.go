@@ -1,6 +1,10 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -60,5 +64,269 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 	if n := execs.Load(); n != 2 {
 		t.Errorf("second key: %d executions, want 2", n)
+	}
+}
+
+// TestWorkerPoolBounded checks that at most -j cells execute at once.
+func TestWorkerPoolBounded(t *testing.T) {
+	s := NewSuite(true)
+	s.SetWorkers(2)
+	var cur, peak atomic.Int64
+	s.exec = func(name string, v Variant, topo Topology) (core.Result, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		cur.Add(-1)
+		return core.Result{}, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.Run(fmt.Sprintf("app%d", i), Variant{Kind: core.TwoLevel}, FullCluster)
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds pool width 2", p)
+	}
+}
+
+// TestPanicIsolation checks that one panicking cell reports an error
+// and leaves the rest of the evaluation intact.
+func TestPanicIsolation(t *testing.T) {
+	s := NewSuite(true)
+	s.exec = func(name string, v Variant, topo Topology) (core.Result, error) {
+		if name == "boom" {
+			panic("injected divergence")
+		}
+		res := core.Result{}
+		res.ExecNS = 7
+		return res, nil
+	}
+	v := Variant{Kind: core.TwoLevel}
+	_, err := s.Run("boom", v, FullCluster)
+	if err == nil || !strings.Contains(err.Error(), "panicked") ||
+		!strings.Contains(err.Error(), "injected divergence") {
+		t.Fatalf("panicking cell error = %v, want panic report", err)
+	}
+	res, err := s.Run("fine", v, FullCluster)
+	if err != nil || res.ExecNS != 7 {
+		t.Errorf("healthy cell after panic: res=%+v err=%v", res.Total, err)
+	}
+	fails := s.FailedCells()
+	if len(fails) != 1 || !strings.Contains(fails[0], "boom/2L/32:4") {
+		t.Errorf("FailedCells = %v, want one entry for boom", fails)
+	}
+}
+
+// TestTimeoutMarksCellFailed checks that a cell exceeding the per-run
+// wall-clock timeout is marked failed while the suite stays usable.
+func TestTimeoutMarksCellFailed(t *testing.T) {
+	s := NewSuite(true)
+	s.SetTimeout(20 * time.Millisecond)
+	release := make(chan struct{})
+	s.exec = func(name string, v Variant, topo Topology) (core.Result, error) {
+		if name == "slow" {
+			<-release
+		}
+		return core.Result{}, nil
+	}
+	v := Variant{Kind: core.OneLevelDiff}
+	_, err := s.Run("slow", v, FullCluster)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("slow cell error = %v, want timeout", err)
+	}
+	close(release) // let the abandoned goroutine finish
+	if _, err := s.Run("quick", v, FullCluster); err != nil {
+		t.Errorf("cell after timeout failed: %v", err)
+	}
+	if fails := s.FailedCells(); len(fails) != 1 {
+		t.Errorf("FailedCells = %v, want the timed-out cell only", fails)
+	}
+}
+
+// deterministicExec returns a fake cell executor whose result is a pure
+// function of the cell key, for tests that compare parallel and serial
+// suite fills.
+func deterministicExec() func(string, Variant, Topology) (core.Result, error) {
+	return func(name string, v Variant, topo Topology) (core.Result, error) {
+		res := core.Result{}
+		h := int64(len(name)*1000003 + topo.Nodes*8191 + topo.PPN*131 + int(v.Kind)*17)
+		res.ExecNS = h
+		res.DataBytes = h * 3
+		res.Counts[0] = h % 97
+		time.Sleep(time.Millisecond) // widen interleaving windows
+		return res, nil
+	}
+}
+
+// TestConcurrentSuiteMatchesSerial runs the full app x protocol x
+// topology cross product through the pool and asserts every cell
+// equals the result of a serial fill — the pool must not mix up,
+// drop, or duplicate cells. Runs under -race in CI.
+func TestConcurrentSuiteMatchesSerial(t *testing.T) {
+	serial := NewSuite(true)
+	serial.SetWorkers(1)
+	serial.exec = deterministicExec()
+	parallel := NewSuite(true)
+	parallel.SetWorkers(8)
+	parallel.exec = deterministicExec()
+
+	names := AppNames()
+	base := make(map[runKey]core.Result)
+	for _, name := range names {
+		for _, v := range Figure7Variants {
+			for _, topo := range Figure7Topologies {
+				res, err := serial.Run(name, v, topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base[runKey{name, v, topo}] = res
+			}
+		}
+	}
+
+	parallel.Prefetch(Figure7Variants, Figure7Topologies)
+	var wg sync.WaitGroup
+	for _, name := range names {
+		for _, v := range Figure7Variants {
+			for _, topo := range Figure7Topologies {
+				wg.Add(1)
+				go func(name string, v Variant, topo Topology) {
+					defer wg.Done()
+					res, err := parallel.Run(name, v, topo)
+					if err != nil {
+						t.Errorf("%s/%s/%s: %v", name, v.Label(), topo.Label(), err)
+						return
+					}
+					want := base[runKey{name, v, topo}]
+					if res.ExecNS != want.ExecNS || res.DataBytes != want.DataBytes {
+						t.Errorf("%s/%s/%s: parallel %d/%d, serial %d/%d",
+							name, v.Label(), topo.Label(),
+							res.ExecNS, res.DataBytes, want.ExecNS, want.DataBytes)
+					}
+				}(name, v, topo)
+			}
+		}
+	}
+	wg.Wait()
+	if got, want := len(parallel.sortedKeys()), len(base); got != want {
+		t.Errorf("parallel suite cached %d cells, want %d", got, want)
+	}
+}
+
+// TestConcurrentRealAppAllProtocols runs a real quick-size application
+// across all four protocols simultaneously through the pool (under
+// -race in CI). Every run is validated against the sequential
+// reference inside apps.Run, and re-querying must return the cached
+// result bit-for-bit.
+func TestConcurrentRealAppAllProtocols(t *testing.T) {
+	s := NewSuite(true)
+	s.SetWorkers(4)
+	topo := Topology{2, 2}
+	var wg sync.WaitGroup
+	first := make([]core.Result, len(FourProtocols))
+	for i, v := range FourProtocols {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			res, err := s.Run("SOR", v, topo)
+			if err != nil {
+				t.Errorf("SOR/%s: %v", v.Label(), err)
+			}
+			first[i] = res
+		}(i, v)
+	}
+	wg.Wait()
+	for i, v := range FourProtocols {
+		res, err := s.Run("SOR", v, topo)
+		if err != nil {
+			t.Fatalf("re-query SOR/%s: %v", v.Label(), err)
+		}
+		if res.ExecNS != first[i].ExecNS || res.DataBytes != first[i].DataBytes {
+			t.Errorf("SOR/%s: re-query differs from pooled run", v.Label())
+		}
+	}
+}
+
+// TestJSONSinkSchema checks that completed and failed cells serialize
+// into the documented results-file schema, sorted for stable diffs.
+func TestJSONSinkSchema(t *testing.T) {
+	s := NewSuite(true)
+	s.SetWorkers(2)
+	sink := NewJSONSink(true, 2)
+	s.SetJSON(sink)
+	s.exec = func(name string, v Variant, topo Topology) (core.Result, error) {
+		if name == "bad" {
+			return core.Result{}, fmt.Errorf("synthetic failure")
+		}
+		res := core.Result{}
+		res.ExecNS = 42
+		res.DataBytes = 99
+		res.Procs = topo.Nodes * topo.PPN
+		res.Counts[0] = 5
+		return res, nil
+	}
+	v := Variant{Kind: core.TwoLevel}
+	s.Run("zzz", v, Topology{2, 2})
+	s.Run("bad", v, Topology{2, 2})
+	s.Run("aaa", v, Topology{2, 2})
+
+	var buf bytes.Buffer
+	if _, err := sink.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file ResultsFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("results file is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if file.Tool != "cashmere-bench" || file.Schema != 1 || !file.Quick || file.Workers != 2 {
+		t.Errorf("header = %+v", file)
+	}
+	if len(file.Cells) != 3 {
+		t.Fatalf("%d cells, want 3", len(file.Cells))
+	}
+	if file.Cells[0].App != "aaa" || file.Cells[1].App != "bad" || file.Cells[2].App != "zzz" {
+		t.Errorf("cells not sorted: %s %s %s",
+			file.Cells[0].App, file.Cells[1].App, file.Cells[2].App)
+	}
+	ok := file.Cells[0]
+	if ok.ExecNS != 42 || ok.DataBytes != 99 || ok.Procs != 4 ||
+		ok.Counts["LockAcquires"] != 5 || ok.Error != "" {
+		t.Errorf("good cell = %+v", ok)
+	}
+	bad := file.Cells[1]
+	if bad.Error != "synthetic failure" || bad.ExecNS != 0 {
+		t.Errorf("failed cell = %+v", bad)
+	}
+	if ok.WallNS < 0 {
+		t.Errorf("wall time %d negative", ok.WallNS)
+	}
+}
+
+// TestProgressLine checks the live progress line renders counts.
+func TestProgressLine(t *testing.T) {
+	s := NewSuite(true)
+	var buf bytes.Buffer
+	s.SetProgress(&buf)
+	s.exec = func(name string, v Variant, topo Topology) (core.Result, error) {
+		return core.Result{}, nil
+	}
+	s.Run("one", Variant{Kind: core.TwoLevel}, Topology{2, 2})
+	s.Run("two", Variant{Kind: core.TwoLevel}, Topology{2, 2})
+	s.Close()
+	out := buf.String()
+	if !strings.Contains(out, "1/1 cells done") {
+		t.Errorf("progress output missing completion count:\n%q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("Close did not terminate the progress line")
 	}
 }
