@@ -392,7 +392,10 @@ func (c *Cluster) superOf(page int) int { return page / c.cfg.SuperpagePages }
 func (c *Cluster) ReadShared(addr int) int64 {
 	page := addr / c.cfg.PageWords
 	off := addr % c.cfg.PageWords
-	if holder, _, ok := c.dir.ExclHolder(0, page); ok {
+	// Scan for the holder through each node's own directory replica:
+	// the directory has no loop-back, so only the owner's doubled copy
+	// of its word is authoritative.
+	if holder, _, ok := c.dir.ExclHolderOwn(page); ok {
 		if f := c.nodes[holder].frames[page].p.Load(); f != nil {
 			return atomic.LoadInt64(&(*f)[off])
 		}

@@ -181,6 +181,51 @@ func TestReadSharedExclusivePage(t *testing.T) {
 	}
 }
 
+func TestReadSharedExclusiveNonZeroNode(t *testing.T) {
+	// A page left in exclusive mode by a processor on a non-zero node
+	// must be found through the holder's own directory replica: the
+	// directory region has no loop-back, so only the owner's doubled
+	// copy of its word is authoritative, and a scan pinned to replica 0
+	// trusts broadcast delivery it has no right to assume.
+	t.Run("2L", func(t *testing.T) {
+		c, err := New(testConfig(TwoLevel, 4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(func(p *Proc) {
+			if p.ID() == 7 {
+				// Page 40 is homed on node 0; the sole writer lives on
+				// node 3, which takes the page exclusive with a private
+				// frame and a stale master copy.
+				p.Store(40*16, 4242)
+			}
+		})
+		if got := c.ReadShared(40 * 16); got != 4242 {
+			t.Errorf("ReadShared of node-3 exclusive page = %d, want 4242", got)
+		}
+	})
+	t.Run("1LD", func(t *testing.T) {
+		// One-level protocols map protocol nodes to processors, so the
+		// holder's word lives on a physical node derived from the
+		// proc-to-SMP mapping rather than the protocol node index.
+		c, err := New(testConfig(OneLevelDiff, 2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(func(p *Proc) {
+			if p.ID() == 3 {
+				p.Lock(0)
+				p.Store(40*16, 555)
+				p.Unlock(0) // release with no sharers: enters exclusive
+				p.Store(40*16, 556)
+			}
+		})
+		if got := c.ReadShared(40 * 16); got != 556 {
+			t.Errorf("ReadShared of proc-3 exclusive page = %d, want 556", got)
+		}
+	})
+}
+
 func TestWriteNoticesExcludeHomeAndAliased(t *testing.T) {
 	// A release sends notices to sharing nodes but never to nodes
 	// reading the master copy directly.

@@ -53,6 +53,13 @@ func (p *Proc) WaitFlag(i int) {
 // FlagSet reports whether flag i has been raised (without acquiring).
 func (p *Proc) FlagSet(i int) bool { return p.c.flags[i].IsSet() }
 
+// ResetFlag returns flag i to the unset state at the caller's current
+// virtual time. No processor may be waiting on the flag, and the reset
+// must be separated from any re-raise by application synchronization.
+func (p *Proc) ResetFlag(i int) {
+	p.c.flags[i].Reset(p.n.phys, p.clk.Now())
+}
+
 // Barrier synchronizes all processors. On arrival each processor
 // flushes the dirty pages for which it is the last arriving local
 // writer (earlier arrivers delegate via no-longer-exclusive notices, so

@@ -4,29 +4,57 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 )
 
 // Protocol event tracing, enabled by setting CASHMERE_TRACE_PAGE to a
-// page number: every protocol transition touching that page is logged
-// to stderr. Zero overhead when disabled (a single nil check).
+// page number or a comma-separated list of page numbers: every protocol
+// transition touching those pages is logged to stderr. Zero overhead
+// when disabled (a single nil check). A value that does not parse is
+// reported on stderr rather than silently disabling the trace the user
+// asked for.
 
 var (
-	traceMu   sync.Mutex
-	tracePage = -1
+	traceMu    sync.Mutex
+	tracePages map[int]bool
 )
 
 func init() {
-	if v, ok := os.LookupEnv("CASHMERE_TRACE_PAGE"); ok {
-		if n, err := strconv.Atoi(v); err == nil {
-			tracePage = n
-		}
+	v, ok := os.LookupEnv("CASHMERE_TRACE_PAGE")
+	if !ok {
+		return
 	}
+	pages, err := parseTracePages(v)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cashmere: ignoring CASHMERE_TRACE_PAGE=%q: %v\n", v, err)
+		return
+	}
+	tracePages = pages
+}
+
+// parseTracePages parses a comma-separated list of non-negative page
+// numbers ("7" or "7,12,40"). Empty elements are rejected so a typo
+// like "7,,12" is reported instead of silently dropped.
+func parseTracePages(v string) (map[int]bool, error) {
+	pages := make(map[int]bool)
+	for _, field := range strings.Split(v, ",") {
+		field = strings.TrimSpace(field)
+		n, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, fmt.Errorf("bad page number %q", field)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative page number %d", n)
+		}
+		pages[n] = true
+	}
+	return pages, nil
 }
 
 // trace logs a protocol event for page when tracing is enabled.
 func (p *Proc) trace(page int, format string, args ...any) {
-	if tracePage < 0 || page != tracePage {
+	if !tracePages[page] {
 		return
 	}
 	traceMu.Lock()

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+func TestParseTracePages(t *testing.T) {
+	good := []struct {
+		in   string
+		want []int
+	}{
+		{"7", []int{7}},
+		{"0", []int{0}},
+		{"7,12,40", []int{7, 12, 40}},
+		{" 7 , 12 ", []int{7, 12}},
+	}
+	for _, c := range good {
+		pages, err := parseTracePages(c.in)
+		if err != nil {
+			t.Errorf("parseTracePages(%q): %v", c.in, err)
+			continue
+		}
+		if len(pages) != len(c.want) {
+			t.Errorf("parseTracePages(%q) = %v, want %v", c.in, pages, c.want)
+			continue
+		}
+		for _, p := range c.want {
+			if !pages[p] {
+				t.Errorf("parseTracePages(%q) missing page %d", c.in, p)
+			}
+		}
+	}
+
+	for _, in := range []string{"", "x", "7,", "7,,12", "7;12", "-1", "7,-2"} {
+		if pages, err := parseTracePages(in); err == nil {
+			t.Errorf("parseTracePages(%q) = %v, want error", in, pages)
+		}
+	}
+}

@@ -217,10 +217,26 @@ func (g *Global) Sharers(reader, page, except int) int {
 }
 
 // ExclHolder scans page's entry for an exclusive holder and returns the
-// protocol node and processor holding it.
+// protocol node and processor holding it, as seen from reader's replica.
 func (g *Global) ExclHolder(reader, page int) (node, proc int, ok bool) {
 	for n := 0; n < g.protoNodes; n++ {
 		if p, has := g.Load(reader, page, n).Excl(); has {
+			return n, p, true
+		}
+	}
+	return 0, 0, false
+}
+
+// ExclHolderOwn scans page's entry for an exclusive holder, reading
+// each node's word through that node's own replica. The directory
+// region has no loop-back, so a node's doubled local copy is the
+// authoritative version of its word; any other replica only sees it
+// once the broadcast has been delivered. Out-of-band inspection (such
+// as result validation after a run) must use this rather than trusting
+// one observer's replica for every word.
+func (g *Global) ExclHolderOwn(page int) (node, proc int, ok bool) {
+	for n := 0; n < g.protoNodes; n++ {
+		if p, has := g.Load(n, page, n).Excl(); has {
 			return n, p, true
 		}
 	}

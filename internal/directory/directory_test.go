@@ -172,6 +172,30 @@ func TestGlobalExclHolder(t *testing.T) {
 	}
 }
 
+func TestGlobalExclHolderOwn(t *testing.T) {
+	net := memchan.New(4, costs.Default())
+	g := NewGlobal(net, 4, 4, ident, false)
+	if _, _, ok := g.ExclHolderOwn(1); ok {
+		t.Error("found exclusive holder on empty directory")
+	}
+	// A normal Store is seen by both scans.
+	g.Store(2, 1, Word(0).WithPerm(ReadWrite).WithExcl(9), 0)
+	if node, proc, ok := g.ExclHolderOwn(1); !ok || node != 2 || proc != 9 {
+		t.Errorf("ExclHolderOwn = %d,%d,%v want 2,9,true", node, proc, ok)
+	}
+	// A word whose broadcast was not delivered — present only in the
+	// owner's doubled replica — is found by the owner-replica scan but
+	// invisible to an observer scanning replica 0.
+	w := Word(0).WithPerm(ReadWrite).WithExcl(13)
+	g.region.Poke(3, g.off(2, 3), int64(w))
+	if node, proc, ok := g.ExclHolderOwn(2); !ok || node != 3 || proc != 13 {
+		t.Errorf("ExclHolderOwn(undelivered) = %d,%d,%v want 3,13,true", node, proc, ok)
+	}
+	if _, _, ok := g.ExclHolder(0, 2); ok {
+		t.Error("replica-0 scan saw a word whose broadcast was never delivered")
+	}
+}
+
 func TestGlobalHome(t *testing.T) {
 	net := memchan.New(4, costs.Default())
 	g := NewGlobal(net, 4, 4, ident, false)

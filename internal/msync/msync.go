@@ -91,6 +91,9 @@ type Flag struct {
 	f    *sim.VFlag
 	cell *memchan.Region
 	wlat int64
+	// resetVis is the global visibility time of the most recent Reset's
+	// clearing write; a later Set can never become visible before it.
+	resetVis int64
 }
 
 // NewFlag allocates a flag cell on the network.
@@ -103,9 +106,13 @@ func NewFlag(net *memchan.Network) *Flag {
 }
 
 // Set raises the flag from node at virtual time now. The flag becomes
-// globally visible one Memory Channel write latency later.
+// globally visible one Memory Channel write latency later, and never
+// before the clearing write of a preceding Reset is itself performed.
 func (fl *Flag) Set(node int, now int64) {
 	visible := fl.cell.Write(node, 0, 1, now)
+	if visible < fl.resetVis {
+		visible = fl.resetVis
+	}
 	fl.f.Set(visible)
 }
 
@@ -122,8 +129,12 @@ func (fl *Flag) Wait(now int64) int64 {
 // IsSet reports whether the flag has been raised.
 func (fl *Flag) IsSet() bool { return fl.f.IsSet() }
 
-// Reset returns the flag to the unset state; no waiter may be active.
-func (fl *Flag) Reset(node int) {
-	fl.cell.Write(node, 0, 0, 0)
+// Reset returns the flag to the unset state at virtual time now; no
+// waiter may be active, and Reset must be serialized with Set. The
+// clearing write is performed at now — writing it at time 0 would
+// order it before every operation that preceded the reset and let a
+// re-raised flag report visibility earlier than the reset itself.
+func (fl *Flag) Reset(node int, now int64) {
+	fl.resetVis = fl.cell.Write(node, 0, 0, now)
 	fl.f.Reset()
 }

@@ -149,8 +149,39 @@ func TestFlag(t *testing.T) {
 	if !f.IsSet() {
 		t.Error("flag not set")
 	}
-	f.Reset(2)
+	f.Reset(2, 2000)
 	if f.IsSet() {
 		t.Error("flag set after Reset")
+	}
+}
+
+func TestFlagResetVisibility(t *testing.T) {
+	// A reset-then-set flag must never report visibility earlier than
+	// the reset: the seed wrote the clearing cell at virtual time 0,
+	// so a re-raise from a processor with a lagging clock could appear
+	// to be performed before the reset that enabled it.
+	net := newNet()
+	f := NewFlag(net)
+	wlat := net.Model().MCWriteLatency
+
+	f.Set(0, 1000)
+	const resetAt = 50000
+	f.Reset(1, resetAt)
+	if f.IsSet() {
+		t.Fatal("flag set after Reset")
+	}
+
+	// Re-raise from a processor whose clock lags the resetter's.
+	f.Set(2, 100)
+	got := f.Wait(0)
+	if want := resetAt + wlat; got != want {
+		t.Errorf("waiter observed re-raised flag at %d, want reset visibility %d", got, want)
+	}
+
+	// A set after the reset's visibility horizon is unaffected.
+	f.Reset(1, resetAt)
+	f.Set(2, 2*resetAt)
+	if got, want := f.Wait(0), 2*resetAt+wlat; got != want {
+		t.Errorf("late re-raise visible at %d, want %d", got, want)
 	}
 }
