@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"cashmere/internal/bench"
 )
@@ -40,8 +41,16 @@ func main() {
 		jsonPath = flag.String("json", "", "write machine-readable per-cell results to this file")
 		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock timeout (0 = none)")
 		progress = flag.Bool("progress", stderrIsTerminal(), "live progress line on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProf, *memProf)
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	s := bench.NewSuite(*quick)
 	s.SetWorkers(*workers)
@@ -60,7 +69,7 @@ func main() {
 		if err != nil {
 			s.Close()
 			fmt.Fprintln(os.Stderr, "cashmere-bench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -115,7 +124,7 @@ func main() {
 	s.Close()
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 
 	if sink != nil {
@@ -133,7 +142,47 @@ func main() {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, " ", f)
 		}
-		os.Exit(1)
+		exit(1)
+	}
+	stopProfiles()
+}
+
+// startProfiles starts a CPU profile and arranges for a heap profile,
+// as requested; the returned stop function is idempotent and must run
+// before every exit path so the profile files are complete.
+func startProfiles(cpu, mem string) func() {
+	var f *os.File
+	if cpu != "" {
+		var err error
+		f, err = os.Create(cpu)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if f != nil {
+			pprof.StopCPUProfile()
+			f.Close()
+			f = nil
+		}
+		if mem != "" {
+			g, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cashmere-bench: memprofile:", err)
+				mem = ""
+				return
+			}
+			runtime.GC() // flush recently freed objects out of the profile
+			if err := pprof.WriteHeapProfile(g); err != nil {
+				fmt.Fprintln(os.Stderr, "cashmere-bench: memprofile:", err)
+			}
+			g.Close()
+			mem = ""
+		}
 	}
 }
 

@@ -80,9 +80,19 @@ func (e *Em3d) dep(i, d int) int {
 func (e *Em3d) Body(p *core.Proc) {
 	p.BeginInit()
 	if p.ID() == 0 {
-		for i := 0; i < e.Nodes; i++ {
-			p.StoreF(e.e+i, e.initVal(0, i))
-			p.StoreF(e.h+i, e.initVal(1, i))
+		// One page-sized run per array at a time, so pages are first
+		// touched in the same E-then-H interleaved order as the scalar
+		// per-node init.
+		ebuf := make([]float64, PageWords)
+		hbuf := make([]float64, PageWords)
+		for i0 := 0; i0 < e.Nodes; i0 += PageWords {
+			run := min(PageWords, e.Nodes-i0)
+			for t := 0; t < run; t++ {
+				ebuf[t] = e.initVal(0, i0+t)
+				hbuf[t] = e.initVal(1, i0+t)
+			}
+			p.StoreFRow(e.e+i0, ebuf[:run])
+			p.StoreFRow(e.h+i0, hbuf[:run])
 		}
 	}
 	p.EndInit()
@@ -96,27 +106,64 @@ func (e *Em3d) Body(p *core.Proc) {
 		p.LoadF(e.e + e.dep(lo, 0))
 		p.LoadF(e.h + e.dep(lo, 0))
 	})
+	buf := make([]float64, PageWords)
+	win := make([]float64, e.Degree)
 	for it := 0; it < e.Iters; it++ {
-		for i := lo; i < hi; i++ {
-			v := p.LoadF(e.e + i)
-			for d := 0; d < e.Degree; d++ {
-				v -= e.weight(d) * p.LoadF(e.h+e.dep(i, d))
-			}
-			p.StoreF(e.e+i, v)
-		}
+		e.halfStep(p, buf, win, e.e, e.h, lo, hi)
 		p.PollN(int64(hi - lo))
 		p.Compute(int64(hi-lo)*int64(e.Degree)*em3dOpNS, int64(hi-lo)*em3dTraffic)
 		p.Barrier()
-		for i := lo; i < hi; i++ {
-			v := p.LoadF(e.h + i)
-			for d := 0; d < e.Degree; d++ {
-				v -= e.weight(d) * p.LoadF(e.e+e.dep(i, d))
-			}
-			p.StoreF(e.h+i, v)
-		}
+		e.halfStep(p, buf, win, e.h, e.e, lo, hi)
 		p.PollN(int64(hi - lo))
 		p.Compute(int64(hi-lo)*int64(e.Degree)*em3dOpNS, int64(hi-lo)*em3dTraffic)
 		p.Barrier()
+	}
+}
+
+// halfStep updates dst[lo:hi] from its dependency windows in src using
+// the range kernels. Segments are clipped at every dst page boundary
+// and at every src page crossing of the window's leading edge, so each
+// source and destination page is first touched at exactly the node
+// index where the scalar per-word sweep first touched it; the handful
+// of nodes whose window wraps around the array fall back to the scalar
+// path. The source array is never written during a half-step, so the
+// per-node window loads read the same values the scalar sweep did.
+func (e *Em3d) halfStep(p *core.Proc, buf, win []float64, dst, src, lo, hi int) {
+	deg, half := e.Degree, e.Degree/2
+	for i := lo; i < hi; {
+		if i < half || i+deg-half > e.Nodes {
+			// Dependency window wraps: scalar fallback.
+			v := p.LoadF(dst + i)
+			for d := 0; d < deg; d++ {
+				v -= e.weight(d) * p.LoadF(src+e.dep(i, d))
+			}
+			p.StoreF(dst+i, v)
+			i++
+			continue
+		}
+		end := hi
+		if r := e.Nodes + half - deg + 1; r < end {
+			end = r // stop before the window wraps again
+		}
+		if r := i + PageWords - (dst+i)%PageWords; r < end {
+			end = r // dst page boundary
+		}
+		lead := src + i + deg - half - 1
+		if r := i + PageWords - lead%PageWords; r < end {
+			end = r // src page crossing of the window's leading edge
+		}
+		seg := buf[:end-i]
+		p.LoadFRow(seg, dst+i)
+		for t := range seg {
+			p.LoadFRow(win, src+i+t-half)
+			v := seg[t]
+			for d := 0; d < deg; d++ {
+				v -= e.weight(d) * win[d]
+			}
+			seg[t] = v
+		}
+		p.StoreFRow(dst+i, seg)
+		i = end
 	}
 }
 

@@ -70,10 +70,12 @@ func (g *Gauss) Body(p *core.Proc) {
 	n, w := g.N, g.rowW()
 	p.BeginInit()
 	if p.ID() == 0 {
+		row := make([]float64, w)
 		for i := 0; i < n; i++ {
 			for j := 0; j <= n; j++ {
-				p.StoreF(g.mat+i*w+j, g.initVal(i, j))
+				row[j] = g.initVal(i, j)
 			}
+			p.StoreFRow(g.mat+i*w, row)
 		}
 	}
 	p.EndInit()
@@ -84,26 +86,58 @@ func (g *Gauss) Body(p *core.Proc) {
 			p.StoreF(g.mat+i*w, p.LoadF(g.mat+i*w))
 		}
 	})
+	// Row buffers for the range kernels. Rows are packed, not
+	// page-aligned — the false sharing is the point of Gauss — so runs
+	// are clipped at every page boundary of the rows involved: each
+	// segment then touches its pages in the same read-then-write order
+	// as the scalar per-word walk, keeping fault sequences identical.
+	rbuf := make([]float64, w)
+	kbuf := make([]float64, w)
 	for k := 0; k < n; k++ {
 		if k%np == me {
 			// Normalize the pivot row and announce it.
 			piv := p.LoadF(g.mat + k*w + k)
-			for j := k; j <= n; j++ {
-				p.StoreF(g.mat+k*w+j, p.LoadF(g.mat+k*w+j)/piv)
+			for j := k; j <= n; {
+				run := n + 1 - j
+				if r := PageWords - (g.mat+k*w+j)%PageWords; r < run {
+					run = r
+				}
+				seg := rbuf[:run]
+				p.LoadFRow(seg, g.mat+k*w+j)
+				for t := range seg {
+					seg[t] = seg[t] / piv
+				}
+				p.StoreFRow(g.mat+k*w+j, seg)
+				j += run
 			}
 			p.Compute(int64(n-k+1)*gaussFlopNS, int64(n-k+1)*gaussTraffic)
 			p.SetFlag(k)
 		} else {
 			p.WaitFlag(k)
 		}
-		// Eliminate the pivot from our remaining rows.
+		// Eliminate the pivot from our remaining rows. Segments stop at
+		// the page boundaries of both the target row and the pivot row.
 		for i := k + 1; i < n; i++ {
 			if i%np != me {
 				continue
 			}
 			m := p.LoadF(g.mat + i*w + k)
-			for j := k; j <= n; j++ {
-				p.StoreF(g.mat+i*w+j, p.LoadF(g.mat+i*w+j)-m*p.LoadF(g.mat+k*w+j))
+			for j := k; j <= n; {
+				run := n + 1 - j
+				if r := PageWords - (g.mat+i*w+j)%PageWords; r < run {
+					run = r
+				}
+				if r := PageWords - (g.mat+k*w+j)%PageWords; r < run {
+					run = r
+				}
+				ib, kb := rbuf[:run], kbuf[:run]
+				p.LoadFRow(ib, g.mat+i*w+j)
+				p.LoadFRow(kb, g.mat+k*w+j)
+				for t := 0; t < run; t++ {
+					ib[t] = ib[t] - m*kb[t]
+				}
+				p.StoreFRow(g.mat+i*w+j, ib)
+				j += run
 			}
 			p.PollN(int64(n - k + 1))
 			p.Compute(int64(n-k+1)*gaussFlopNS, int64(n-k+1)*gaussTraffic)

@@ -88,9 +88,16 @@ func (l *LU) Body(p *core.Proc) {
 	n, nb := l.N, l.nb()
 	p.BeginInit()
 	if p.ID() == 0 {
+		// Rows are contiguous per block in the block-major layout, so
+		// initialize one in-block row run at a time.
+		b := l.B
+		row := make([]float64, b)
 		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				l.store(p.StoreF, i, j, l.initVal(i, j))
+			for J := 0; J < nb; J++ {
+				for c := 0; c < b; c++ {
+					row[c] = l.initVal(i, J*b+c)
+				}
+				p.StoreFRow(l.addr(i, J*b), row)
 			}
 		}
 	}
@@ -108,19 +115,20 @@ func (l *LU) Body(p *core.Proc) {
 			}
 		}
 	})
+	scratch := newLUScratch(l.B)
 	for k := 0; k < nb; k++ {
 		// Factor the diagonal block.
 		if l.owner(k, k, np) == me {
-			l.factorDiag(p, k)
+			l.factorDiag(p, k, scratch)
 		}
 		p.Barrier()
 		// Perimeter blocks in pivot row and column.
 		for j := k + 1; j < nb; j++ {
 			if l.owner(k, j, np) == me {
-				l.solveRow(p, k, j)
+				l.solveRow(p, k, j, scratch)
 			}
 			if l.owner(j, k, np) == me {
-				l.solveCol(p, j, k)
+				l.solveCol(p, j, k, scratch)
 			}
 		}
 		p.Barrier()
@@ -128,7 +136,7 @@ func (l *LU) Body(p *core.Proc) {
 		for i := k + 1; i < nb; i++ {
 			for j := k + 1; j < nb; j++ {
 				if l.owner(i, j, np) == me {
-					l.updateInterior(p, i, j, k)
+					l.updateInterior(p, i, j, k, scratch)
 				}
 			}
 		}
@@ -144,21 +152,43 @@ func (l *LU) addr(i, j int) int {
 
 func (l *LU) store(st func(int, float64), i, j int, v float64) { st(l.addr(i, j), v) }
 
+// luScratch holds per-processor row buffers for the range kernels; each
+// Body goroutine owns one, so the kernels allocate nothing per call.
+type luScratch struct {
+	piv, row, aux []float64
+}
+
+func newLUScratch(b int) *luScratch {
+	return &luScratch{
+		piv: make([]float64, b),
+		row: make([]float64, b),
+		aux: make([]float64, b),
+	}
+}
+
 // factorDiag performs an unblocked LU factorization of diagonal block k.
-func (l *LU) factorDiag(p *core.Proc, k int) {
+// Each (kk,i) step reads and writes the contiguous tail [kk,b) of
+// in-block row i, so the tails move through the range kernels; the
+// floating-point expressions and the fault order (block read before
+// block write) match the scalar version exactly.
+func (l *LU) factorDiag(p *core.Proc, k int, s *luScratch) {
 	b := l.B
 	base := k * b
 	ops := 0
 	for kk := 0; kk < b; kk++ {
-		piv := p.LoadF(l.addr(base+kk, base+kk))
+		tail := s.piv[:b-kk]
+		p.LoadFRow(tail, l.addr(base+kk, base+kk))
+		piv := tail[0]
 		for i := kk + 1; i < b; i++ {
-			m := p.LoadF(l.addr(base+i, base+kk)) / piv
-			p.StoreF(l.addr(base+i, base+kk), m)
-			for j := kk + 1; j < b; j++ {
-				v := p.LoadF(l.addr(base+i, base+j)) - m*p.LoadF(l.addr(base+kk, base+j))
-				p.StoreF(l.addr(base+i, base+j), v)
+			row := s.row[:b-kk]
+			p.LoadFRow(row, l.addr(base+i, base+kk))
+			m := row[0] / piv
+			row[0] = m
+			for c := 1; c < len(row); c++ {
+				row[c] = row[c] - m*tail[c]
 				ops++
 			}
+			p.StoreFRow(l.addr(base+i, base+kk), row)
 		}
 		p.Poll()
 	}
@@ -166,18 +196,29 @@ func (l *LU) factorDiag(p *core.Proc, k int) {
 }
 
 // solveRow computes U_kj = L_kk^{-1} A_kj for perimeter block (k,j).
-func (l *LU) solveRow(p *core.Proc, k, j int) {
+// The multipliers come from a strided column of the diagonal block and
+// stay scalar; the target rows are full contiguous in-block rows. The
+// multiplier load stays first so the diagonal page still faults before
+// the target page, and the kk pivot row loads lazily after the first
+// target row exactly where the scalar version first touched it.
+func (l *LU) solveRow(p *core.Proc, k, j int, s *luScratch) {
 	b := l.B
 	rbase, cbase := k*b, j*b
 	ops := 0
 	for kk := 0; kk < b; kk++ {
+		loaded := false
 		for i := kk + 1; i < b; i++ {
 			m := p.LoadF(l.addr(k*b+i, k*b+kk))
+			p.LoadFRow(s.row, l.addr(rbase+i, cbase))
+			if !loaded {
+				p.LoadFRow(s.piv, l.addr(rbase+kk, cbase))
+				loaded = true
+			}
 			for c := 0; c < b; c++ {
-				v := p.LoadF(l.addr(rbase+i, cbase+c)) - m*p.LoadF(l.addr(rbase+kk, cbase+c))
-				p.StoreF(l.addr(rbase+i, cbase+c), v)
+				s.row[c] = s.row[c] - m*s.piv[c]
 				ops++
 			}
+			p.StoreFRow(l.addr(rbase+i, cbase), s.row)
 		}
 		p.Poll()
 	}
@@ -185,41 +226,60 @@ func (l *LU) solveRow(p *core.Proc, k, j int) {
 }
 
 // solveCol computes L_jk = A_jk U_kk^{-1} for perimeter block (j,k).
-func (l *LU) solveCol(p *core.Proc, j, k int) {
+// Both the pivot row tail in the diagonal block and the target row
+// tails are contiguous runs [kk,b); the pivot tail loads first (its
+// first word is the pivot), preserving the diagonal-then-target fault
+// order of the scalar version.
+func (l *LU) solveCol(p *core.Proc, j, k int, s *luScratch) {
 	b := l.B
 	rbase, cbase := j*b, k*b
 	ops := 0
 	for kk := 0; kk < b; kk++ {
-		piv := p.LoadF(l.addr(k*b+kk, k*b+kk))
+		tail := s.piv[:b-kk]
+		p.LoadFRow(tail, l.addr(k*b+kk, k*b+kk))
+		piv := tail[0]
 		for i := 0; i < b; i++ {
-			m := p.LoadF(l.addr(rbase+i, cbase+kk)) / piv
-			p.StoreF(l.addr(rbase+i, cbase+kk), m)
-			for c := kk + 1; c < b; c++ {
-				v := p.LoadF(l.addr(rbase+i, cbase+c)) - m*p.LoadF(l.addr(k*b+kk, k*b+c))
-				p.StoreF(l.addr(rbase+i, cbase+c), v)
+			row := s.row[:b-kk]
+			p.LoadFRow(row, l.addr(rbase+i, cbase+kk))
+			m := row[0] / piv
+			row[0] = m
+			for c := 1; c < len(row); c++ {
+				row[c] = row[c] - m*tail[c]
 				ops++
 			}
+			p.StoreFRow(l.addr(rbase+i, cbase+kk), row)
 		}
 		p.Poll()
 	}
 	p.Compute(int64(ops)*luFlopNS, int64(ops)*luTraffic)
 }
 
-// updateInterior applies A_ij -= L_ik * U_kj.
-func (l *LU) updateInterior(p *core.Proc, i, j, k int) {
+// updateInterior applies A_ij -= L_ik * U_kj. The multipliers for
+// target row r form in-block row r of L_ik, loaded as one run; the
+// target row loads lazily on the first nonzero multiplier, so a row
+// whose multipliers are all zero touches neither A_ij nor U_kj, exactly
+// like the scalar version.
+func (l *LU) updateInterior(p *core.Proc, i, j, k int, s *luScratch) {
 	b := l.B
 	ops := 0
 	for r := 0; r < b; r++ {
+		p.LoadFRow(s.piv, l.addr(i*b+r, k*b))
+		loaded := false
 		for kk := 0; kk < b; kk++ {
-			m := p.LoadF(l.addr(i*b+r, k*b+kk))
+			m := s.piv[kk]
 			if m == 0 {
 				continue
 			}
+			if !loaded {
+				p.LoadFRow(s.row, l.addr(i*b+r, j*b))
+				loaded = true
+			}
+			p.LoadFRow(s.aux, l.addr(k*b+kk, j*b))
 			for c := 0; c < b; c++ {
-				v := p.LoadF(l.addr(i*b+r, j*b+c)) - m*p.LoadF(l.addr(k*b+kk, j*b+c))
-				p.StoreF(l.addr(i*b+r, j*b+c), v)
+				s.row[c] = s.row[c] - m*s.aux[c]
 				ops++
 			}
+			p.StoreFRow(l.addr(i*b+r, j*b), s.row)
 		}
 		p.Poll()
 	}

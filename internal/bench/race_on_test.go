@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary was built with the race
+// detector (see determinism_test.go for why that matters).
+const raceEnabled = true

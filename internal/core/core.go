@@ -17,10 +17,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
 	"cashmere/internal/costs"
+	"cashmere/internal/diff"
 	"cashmere/internal/directory"
 	"cashmere/internal/memchan"
 	"cashmere/internal/msync"
@@ -166,7 +168,37 @@ type node struct {
 	// barrier episode, for the last-arriving-local-writer flush rule.
 	arrived []bool
 
+	// twinPool recycles retired twin buffers so steady-state twinning
+	// allocates nothing; wbuf is reusable scratch for Writers/Mapped
+	// queries. Both are protected by mu.
+	twinPool [][]int64
+	wbuf     []int
+
 	procs []*Proc // local processors
+}
+
+// newTwin returns a twin of src, refilling a pooled buffer when one is
+// available. Called with n.mu held.
+func (n *node) newTwin(src []int64) []int64 {
+	var t []int64
+	if k := len(n.twinPool); k > 0 {
+		t = n.twinPool[k-1]
+		n.twinPool[k-1] = nil
+		n.twinPool = n.twinPool[:k-1]
+	} else {
+		t = make([]int64, len(src))
+	}
+	diff.CopyIn(t, src)
+	return t
+}
+
+// dropTwin retires page's twin, if any, into the pool. Called with
+// n.mu held.
+func (n *node) dropTwin(page int) {
+	if t := n.twins[page]; t != nil {
+		n.twins[page] = nil
+		n.twinPool = append(n.twinPool, t)
+	}
 }
 
 // frameSlot holds an atomically-published page frame pointer: the access
@@ -195,6 +227,12 @@ type Cluster struct {
 
 	pages      int
 	superpages int
+
+	// pageShift/pageMask provide shift/mask page arithmetic when
+	// PageWords is a power of two (pageShift is -1 otherwise and the
+	// access paths fall back to div/mod). Validated in New.
+	pageShift int
+	pageMask  int
 
 	// masters[p] is page p's master copy — the Memory Channel receive
 	// region at the home node. The home node's local frame aliases it.
@@ -233,6 +271,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, model: cfg.Model}
 	c.charging.Store(true)
+	c.pageShift, c.pageMask = -1, 0
+	if cfg.PageWords&(cfg.PageWords-1) == 0 {
+		c.pageShift = bits.TrailingZeros(uint(cfg.PageWords))
+		c.pageMask = cfg.PageWords - 1
+	}
 	c.pages = (cfg.SharedWords + cfg.PageWords - 1) / cfg.PageWords
 	c.superpages = (c.pages + cfg.SuperpagePages - 1) / cfg.SuperpagePages
 
@@ -289,15 +332,23 @@ func New(cfg Config) (*Cluster, error) {
 		n := c.nodes[pn]
 		local := len(n.procs)
 		p := &Proc{
-			c:       c,
-			n:       n,
-			global:  g,
-			local:   local,
-			table:   n.vm.Proc(local),
-			nle:     wnotice.NewPerProc(c.pages),
-			pwn:     wnotice.NewPerProc(c.pages),
-			dirtyIn: make([]bool, c.pages),
+			c:         c,
+			n:         n,
+			global:    g,
+			local:     local,
+			table:     n.vm.Proc(local),
+			vmEpoch:   n.vm.Epoch(),
+			pageShift: c.pageShift,
+			pageMask:  c.pageMask,
+			sd:        cfg.Protocol == TwoLevelSD,
+			nle:       wnotice.NewPerProc(c.pages),
+			pwn:       wnotice.NewPerProc(c.pages),
+			dirtyIn:   make([]bool, c.pages),
 		}
+		for i := range p.tlb {
+			p.tlb[i].page = -1
+		}
+		p.activeRange.Store(-1)
 		n.procs = append(n.procs, p)
 		c.procs[g] = p
 	}

@@ -95,7 +95,7 @@ func (p *Proc) breakExclusive(page, holderNode, holderProc int) {
 	// (in-flight writes are propagated eagerly).
 	if !x.frames[page].aliased.Load() && x.twins[page] == nil &&
 		c.cfg.Protocol != OneLevelWrite {
-		x.twins[page] = diff.Twin(c.masters[page])
+		x.twins[page] = x.newTwin(c.masters[page])
 		p.st.Inc(stats.TwinCreations)
 		p.chargeProtocol(c.model.Twin)
 	}
@@ -104,7 +104,8 @@ func (p *Proc) breakExclusive(page, holderNode, holderProc int) {
 	// where the release skips the data flush but must still send write
 	// notices to remote sharers.
 	x.procs[holderLocal].nle.Add(page)
-	for _, w := range x.vm.Writers(page, nil) {
+	x.wbuf = x.vm.Writers(page, x.wbuf[:0])
+	for _, w := range x.wbuf {
 		x.procs[w].nle.Add(page)
 	}
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRangeStoresSurviveConcurrentDowngrades drives the shared-access
+// fast path through its hostile cases: every processor issues range
+// stores and loads against pages the other processors are concurrently
+// writing (false sharing), so software-TLB entries are invalidated by
+// remote downgrades while accesses are in flight. Under 2LS those
+// downgrades are shootdowns — the exact race the StoreRange drain
+// handshake exists for — and the single-writer phase pushes a page into
+// exclusive mode so the following all-writer phase breaks it mid-use.
+// The program is data-race-free at word granularity (disjoint runs,
+// barriers between conflicting phases), so every store must survive;
+// run under `go test -race` this doubles as the memory-model check for
+// the TLB and range-kernel synchronization.
+func TestRangeStoresSurviveConcurrentDowngrades(t *testing.T) {
+	const iters = 20
+	for _, k := range allKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(k, 4, 2) // 8 procs, 16-word pages, 64 pages
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pw := cfg.PageWords
+			np := cfg.Nodes * cfg.ProcsPerNode
+			run := pw / np // disjoint words per proc within every page
+			pages := c.Pages()
+			val := func(it, id, page, j int) int64 {
+				return int64(((it*64+id)*1024+page)*64 + j)
+			}
+			// Record only the first mismatch; a proc must keep running
+			// to its barriers even after a failure or the others hang.
+			var mu sync.Mutex
+			var firstErr error
+			report := func(format string, args ...any) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf(format, args...)
+				}
+				mu.Unlock()
+			}
+			c.Run(func(p *Proc) {
+				id := p.ID()
+				buf := make([]int64, run)
+				for it := 0; it < iters; it++ {
+					// Phase 1: all procs write their own run of every
+					// page — maximal false sharing, concurrent
+					// shootdowns under 2LS.
+					for page := 0; page < pages; page++ {
+						for j := range buf {
+							buf[j] = val(it, id, page, j)
+						}
+						p.StoreRange(page*pw+id*run, buf)
+					}
+					p.Barrier()
+					// Phase 2: read a neighbour's run back with the
+					// range loader; the barrier made it visible.
+					other := (id + 1) % np
+					for page := 0; page < pages; page++ {
+						p.LoadRange(buf, page*pw+other*run)
+						for j, got := range buf {
+							if want := val(it, other, page, j); got != want {
+								report("%v it %d: page %d word %d of proc %d = %d, want %d",
+									k, it, page, j, other, got, want)
+							}
+						}
+					}
+					p.Barrier()
+					// Phase 3: proc 0 writes page 0 alone so repeated
+					// single-writer intervals can promote it to
+					// exclusive mode...
+					if id == 0 {
+						for j := range buf {
+							buf[j] = val(it, 0, pages, j)
+						}
+						p.StoreRange(0, buf)
+					}
+					p.Barrier()
+					// ...and then every proc writes it, breaking
+					// exclusivity while ranges are in flight.
+					for j := range buf {
+						buf[j] = val(it, id, pages+1, j)
+					}
+					p.StoreRange(id*run, buf)
+					p.Barrier()
+				}
+			})
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+			// Final state: the phase-4 runs of the last iteration on
+			// page 0, the phase-1 runs everywhere else.
+			for page := 0; page < pages; page++ {
+				for id := 0; id < np; id++ {
+					for j := 0; j < run; j++ {
+						want := val(iters-1, id, page, j)
+						if page == 0 {
+							want = val(iters-1, id, pages+1, j)
+						}
+						if got := c.ReadShared(page*pw + id*run + j); got != want {
+							t.Fatalf("%v: final page %d proc %d word %d = %d, want %d",
+								k, page, id, j, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}

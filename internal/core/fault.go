@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+
 	"cashmere/internal/diff"
 	"cashmere/internal/directory"
 	"cashmere/internal/stats"
@@ -92,7 +94,7 @@ func (p *Proc) writeFault(page int) {
 			// no dirty-list entry, no flushes or notices — until
 			// another node breaks it out (Section 2.4.1).
 			p.trace(page, "enter exclusive")
-			n.twins[page] = nil // exclusive pages have no twin
+			n.dropTwin(page) // exclusive pages have no twin
 			p.table.Set(page, directory.ReadWrite)
 			p.chargeProtocol(p.c.model.MProtect)
 			p.st.Inc(stats.ExclTransitions)
@@ -104,7 +106,7 @@ func (p *Proc) writeFault(page int) {
 			p.markDirty(page)
 			if p.needsTwin(page) && n.twins[page] == nil {
 				frame := *n.frames[page].p.Load()
-				n.twins[page] = diff.Twin(frame)
+				n.twins[page] = n.newTwin(frame)
 				p.st.Inc(stats.TwinCreations)
 				p.chargeProtocol(p.c.model.Twin)
 			}
@@ -161,7 +163,7 @@ func (p *Proc) ensureCurrentLocked(page int) bool {
 		// aliased bit, not home identity, drives flush and notice
 		// decisions, so falling through to the diff-based path below
 		// stays correct in the interim).
-		if f == nil || len(n.vm.Writers(page, nil)) == 0 {
+		if f == nil || !n.vm.HasWriters(page) {
 			// Preserve any data the private frame holds that the
 			// master lacks before adopting the master copy.
 			if f != nil {
@@ -177,7 +179,8 @@ func (p *Proc) ensureCurrentLocked(page int) bool {
 			m := c.masters[page]
 			slot.p.Store(&m)
 			slot.aliased.Store(true)
-			n.twins[page] = nil
+			n.dropTwin(page)
+			n.vm.Bump() // invalidate translations to the private frame
 			meta.updateTS = n.lclock.Tick()
 			return true
 		}
@@ -187,7 +190,8 @@ func (p *Proc) ensureCurrentLocked(page int) bool {
 		// it); drop the alias and refetch as an ordinary sharer.
 		slot.p.Store(nil)
 		slot.aliased.Store(false)
-		n.twins[page] = nil
+		n.dropTwin(page)
+		n.vm.Bump()
 	}
 
 	frame := slot.p.Load()
@@ -200,8 +204,9 @@ func (p *Proc) ensureCurrentLocked(page int) bool {
 		p.trace(page, "fresh fetch (home=%d)", homeProto)
 		f := make([]int64, c.cfg.PageWords)
 		p.fetchPage(page, homeProto)
-		diff.Copy(f, c.masters[page])
+		diff.CopyIn(f, c.masters[page]) // f is not yet published
 		slot.p.Store(&f)
+		n.vm.Bump()
 		meta.updateTS = n.lclock.Tick()
 	case meta.updateTS < wnOrAcq:
 		p.trace(page, "refetch: updTS=%d wnTS=%d acqTS=%d", meta.updateTS, meta.wnTS, p.acquireTS)
@@ -265,7 +270,8 @@ func (p *Proc) applyUpdate(page int, frame []int64) {
 		// message; a goroutine cannot be halted mid-store, so the
 		// update is applied as remote-only differences — the same
 		// memory outcome — while the full page-copy cost is charged.)
-		writers := n.vm.Writers(page, nil)
+		n.wbuf = n.vm.Writers(page, n.wbuf[:0])
+		writers := n.wbuf
 		cost := c.model.ShootdownPoll
 		if c.cfg.UseInterrupts {
 			cost = c.model.ShootdownInterrupt
@@ -278,12 +284,29 @@ func (p *Proc) applyUpdate(page int, frame []int64) {
 			p.st.Inc(stats.Shootdowns)
 			p.chargeProtocol(cost)
 		}
+		// Drain in-flight store-range runs on the page: a run that
+		// validated its mapping before the revocation above may still
+		// be writing (the real system's interrupt latency). The diffs
+		// below must observe its stores — once the twin is dropped a
+		// straggler would never be flushed — so wait for each revoked
+		// writer to leave the page. Writers cannot start a new run:
+		// the revocation is visible to their next validation, and the
+		// fault they take then blocks on the node mutex we hold.
+		for _, w := range writers {
+			if w == p.local {
+				continue
+			}
+			victim := &n.procs[w].activeRange
+			for victim.Load() == int64(page) {
+				runtime.Gosched()
+			}
+		}
 		changed := diff.Outgoing(frame, twin, master)
 		if changed > 0 {
 			p.flushBytes(page, changed)
 		}
 		diff.Incoming(frame, twin, master)
-		n.twins[page] = nil
+		n.dropTwin(page)
 		n.meta[page].flushTS = n.lclock.Tick()
 		return
 	}

@@ -111,6 +111,7 @@ func (c *Cluster) migrateSuperpage(p *Proc, sp, oldProto int) {
 		}
 		slot.aliased.Store(false)
 		slot.p.Store(nil)
+		old.vm.Bump() // invalidate cached translations to the master alias
 		old.meta[page] = pageMeta{}
 		// The old home's directory word no longer claims a mapping.
 		w := c.dir.Load(oldProto, page, oldProto).WithPerm(directory.Invalid).ClearExcl()

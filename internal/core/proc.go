@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"cashmere/internal/directory"
 	"cashmere/internal/memchan"
 	"cashmere/internal/sim"
 	"cashmere/internal/stats"
@@ -17,6 +18,34 @@ type framePtr = atomic.Pointer[[]int64]
 // memchanWordBytes is the accounting size of one shared word.
 const memchanWordBytes = memchan.WordBytes
 
+// tlbSize is the number of direct-mapped entries in each processor's
+// software TLB. Sixteen entries cover the applications' working rows
+// (SOR's three neighbouring rows, for instance, land in adjacent
+// entries without conflict).
+const (
+	tlbSize = 16
+	tlbMask = tlbSize - 1
+)
+
+// tlbEntry caches one page translation in plain fields owned by the
+// accessing goroutine. An entry is valid while its epoch tag equals the
+// node's current epoch (see the vm package's epoch contract): any
+// permission change, frame republish, or alias flip on the node bumps
+// the epoch and so invalidates every cached translation at its next
+// use. The common-case access is then one atomic epoch load instead of
+// a permission-table load plus a frame-pointer load.
+type tlbEntry struct {
+	page  int    // cached page number (-1 when empty)
+	epoch uint64 // node epoch observed before the state below was read
+	perm  directory.Perm
+	frame []int64
+	// doubling is set when the 1L protocol write-doubles stores on this
+	// page (i.e. the frame does not alias the master copy); master is
+	// the home copy the doubled words land in.
+	doubling bool
+	master   []int64
+}
+
 // Proc is the handle a simulated processor's goroutine uses to access
 // shared memory, synchronize, and account for computation. A Proc is
 // owned by exactly one goroutine.
@@ -27,6 +56,30 @@ type Proc struct {
 	local  int // index within the protocol node
 
 	table *vm.Table
+
+	// Software TLB state. vmEpoch points at the node's translation
+	// generation; pageShift/pageMask mirror the cluster's shift/mask
+	// page arithmetic (pageShift is -1 when PageWords is not a power of
+	// two); sd notes the shootdown protocol, whose range stores must be
+	// drainable (see activeRange).
+	tlb       [tlbSize]tlbEntry
+	vmEpoch   *atomic.Uint64
+	pageShift int
+	pageMask  int
+	sd        bool
+
+	// activeRange publishes the page a StoreRange run is currently
+	// writing (-1 otherwise). A 2LS shootdown, after revoking this
+	// processor's write mapping, spins until the field leaves the page
+	// being shot down, so a page-length store run cannot slip
+	// modifications past the shootdown's diff of the page. The scalar
+	// store path needs no such handshake: its revocation window is a
+	// single in-flight store, the same window the per-word permission
+	// check had.
+	activeRange atomic.Int64
+
+	// rowBuf is scratch for the float64 range kernels.
+	rowBuf []int64
 
 	clk sim.Clock
 	st  stats.Proc
@@ -71,34 +124,163 @@ func (p *Proc) PageWords() int { return p.c.cfg.PageWords }
 // Stats returns a snapshot of the processor's statistics.
 func (p *Proc) Stats() stats.Proc { return p.st }
 
-// Load reads the shared word at addr.
-func (p *Proc) Load(addr int) int64 {
-	page := addr / p.c.cfg.PageWords
-	for !p.table.CanRead(page) {
+// split returns addr's page number and in-page offset.
+func (p *Proc) split(addr int) (page, off int) {
+	if p.pageShift >= 0 {
+		return addr >> uint(p.pageShift), addr & p.pageMask
+	}
+	return addr / p.c.cfg.PageWords, addr % p.c.cfg.PageWords
+}
+
+// fill caches the translation for page, which must currently be mapped
+// with at least the permission the caller verified. ep is the node
+// epoch observed before that verification, so any protocol transition
+// after it leaves the entry stale and forces revalidation.
+func (p *Proc) fill(page int, ep uint64) *tlbEntry {
+	e := &p.tlb[page&tlbMask]
+	slot := &p.n.frames[page]
+	e.page = page
+	e.epoch = ep
+	e.perm = p.table.Get(page)
+	e.frame = *slot.p.Load()
+	e.doubling = p.c.cfg.Protocol == OneLevelWrite && !slot.aliased.Load()
+	if e.doubling {
+		e.master = p.c.masters[page]
+	} else {
+		e.master = nil
+	}
+	return e
+}
+
+// readEntry returns a TLB entry valid for reading page, faulting as
+// needed.
+func (p *Proc) readEntry(page int) *tlbEntry {
+	e := &p.tlb[page&tlbMask]
+	if e.page == page && e.perm >= directory.ReadOnly && e.epoch == p.vmEpoch.Load() {
+		return e
+	}
+	for {
+		ep := p.vmEpoch.Load()
+		if p.table.CanRead(page) {
+			return p.fill(page, ep)
+		}
 		p.readFault(page)
 	}
-	f := *p.n.frames[page].p.Load()
-	return atomic.LoadInt64(&f[addr%p.c.cfg.PageWords])
+}
+
+// writeEntry returns a TLB entry valid for writing page, faulting as
+// needed.
+func (p *Proc) writeEntry(page int) *tlbEntry {
+	e := &p.tlb[page&tlbMask]
+	if e.page == page && e.perm >= directory.ReadWrite && e.epoch == p.vmEpoch.Load() {
+		return e
+	}
+	for {
+		ep := p.vmEpoch.Load()
+		if p.table.CanWrite(page) {
+			return p.fill(page, ep)
+		}
+		p.writeFault(page)
+	}
+}
+
+// Load reads the shared word at addr.
+func (p *Proc) Load(addr int) int64 {
+	page, off := p.split(addr)
+	e := &p.tlb[page&tlbMask]
+	if e.page == page && e.perm >= directory.ReadOnly && e.epoch == p.vmEpoch.Load() {
+		return atomic.LoadInt64(&e.frame[off])
+	}
+	return atomic.LoadInt64(&p.readEntry(page).frame[off])
 }
 
 // Store writes the shared word at addr.
 func (p *Proc) Store(addr int, v int64) {
-	page := addr / p.c.cfg.PageWords
-	for !p.table.CanWrite(page) {
-		p.writeFault(page)
+	page, off := p.split(addr)
+	e := &p.tlb[page&tlbMask]
+	if e.page != page || e.perm < directory.ReadWrite || e.epoch != p.vmEpoch.Load() {
+		e = p.writeEntry(page)
 	}
-	slot := &p.n.frames[page]
-	f := *slot.p.Load()
-	atomic.StoreInt64(&f[addr%p.c.cfg.PageWords], v)
-	if p.c.cfg.Protocol == OneLevelWrite && !slot.aliased.Load() {
+	atomic.StoreInt64(&e.frame[off], v)
+	if e.doubling {
 		// Write doubling: propagate the word to the home copy on the
 		// fly (Section 2.6). The network occupancy is accumulated and
 		// charged at the next protocol operation.
-		atomic.StoreInt64(&p.c.masters[page][addr%p.c.cfg.PageWords], v)
+		atomic.StoreInt64(&e.master[off], v)
 		p.clk.Advance(p.c.model.WriteDouble)
 		p.st.Charge(stats.WriteDoubling, p.c.model.WriteDouble)
 		p.doubledBytes += memchanWordBytes
 		p.st.Data(memchanWordBytes)
+	}
+}
+
+// LoadRange reads len(dst) consecutive shared words starting at addr
+// into dst. The permission check and fault loop run once per page
+// spanned — at the same page boundaries, in the same order, with the
+// same charges as word-at-a-time Loads — and the words of each page
+// are then copied in one run.
+func (p *Proc) LoadRange(dst []int64, addr int) {
+	for len(dst) > 0 {
+		page, off := p.split(addr)
+		run := p.c.cfg.PageWords - off
+		if run > len(dst) {
+			run = len(dst)
+		}
+		frame := p.readEntry(page).frame[off : off+run]
+		for i := range frame {
+			dst[i] = atomic.LoadInt64(&frame[i])
+		}
+		dst = dst[run:]
+		addr += run
+	}
+}
+
+// StoreRange writes the words of src to consecutive shared addresses
+// starting at addr. Permission checks, faults, and the 1L
+// write-doubling charges are identical in count and order to
+// word-at-a-time Stores; doubling time and traffic are accounted in
+// bulk per page run.
+func (p *Proc) StoreRange(addr int, src []int64) {
+	for len(src) > 0 {
+		page, off := p.split(addr)
+		run := p.c.cfg.PageWords - off
+		if run > len(src) {
+			run = len(src)
+		}
+		e := p.writeEntry(page)
+		if p.sd {
+			// Publish the run so a concurrent shootdown drains it
+			// (applyUpdate waits until activeRange leaves the page it
+			// is diffing). Revalidate after publishing: with
+			// sequentially-consistent atomics either we observe the
+			// revocation here, or the shooter observes our published
+			// range and waits.
+			p.activeRange.Store(int64(page))
+			if e.epoch != p.vmEpoch.Load() {
+				p.activeRange.Store(-1)
+				continue
+			}
+		}
+		frame := e.frame[off : off+run]
+		for i, v := range src[:run] {
+			atomic.StoreInt64(&frame[i], v)
+		}
+		if p.sd {
+			p.activeRange.Store(-1)
+		}
+		if e.doubling {
+			master := e.master[off : off+run]
+			for i, v := range src[:run] {
+				atomic.StoreInt64(&master[i], v)
+			}
+			d := int64(run) * p.c.model.WriteDouble
+			p.clk.Advance(d)
+			p.st.Charge(stats.WriteDoubling, d)
+			p.doubledBytes += int64(run) * memchanWordBytes
+			p.st.Data(int64(run) * memchanWordBytes)
+		}
+		src = src[run:]
+		addr += run
 	}
 }
 
@@ -110,6 +292,37 @@ func (p *Proc) LoadF(addr int) float64 {
 // StoreF writes the shared word at addr as a float64.
 func (p *Proc) StoreF(addr int, v float64) {
 	p.Store(addr, int64(math.Float64bits(v)))
+}
+
+// LoadFRow reads len(dst) consecutive shared words starting at addr as
+// float64s. Equivalent to len(dst) LoadF calls.
+func (p *Proc) LoadFRow(dst []float64, addr int) {
+	for len(dst) > 0 {
+		page, off := p.split(addr)
+		run := p.c.cfg.PageWords - off
+		if run > len(dst) {
+			run = len(dst)
+		}
+		frame := p.readEntry(page).frame[off : off+run]
+		for i := range frame {
+			dst[i] = math.Float64frombits(uint64(atomic.LoadInt64(&frame[i])))
+		}
+		dst = dst[run:]
+		addr += run
+	}
+}
+
+// StoreFRow writes the float64s of src to consecutive shared addresses
+// starting at addr. Equivalent to len(src) StoreF calls.
+func (p *Proc) StoreFRow(addr int, src []float64) {
+	if cap(p.rowBuf) < len(src) {
+		p.rowBuf = make([]int64, len(src))
+	}
+	buf := p.rowBuf[:len(src)]
+	for i, v := range src {
+		buf[i] = int64(math.Float64bits(v))
+	}
+	p.StoreRange(addr, buf)
 }
 
 // Compute charges ns nanoseconds of user computation and busBytes of

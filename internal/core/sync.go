@@ -219,9 +219,9 @@ func (p *Proc) flushPage(page int, releaseStart int64) {
 	// their twin-tracked modifications to the master.
 	aliased := n.frames[page].aliased.Load()
 	if !aliased && n.twins[page] != nil {
-		writers := n.vm.Writers(page, nil)
+		n.wbuf = n.vm.Writers(page, n.wbuf[:0])
 		concurrent := false
-		for _, w := range writers {
+		for _, w := range n.wbuf {
 			if w != p.local {
 				concurrent = true
 			}
@@ -313,14 +313,13 @@ func (p *Proc) acquireActions() {
 	} else {
 		notices = n.gwn.Drain()
 	}
-	var mapped []int
 	for _, page := range notices {
 		n.meta[page].wnTS = n.lclock.Now()
 		if n.frames[page].aliased.Load() {
 			continue // master alias is never stale
 		}
-		mapped = n.vm.Mapped(page, mapped[:0])
-		for _, l := range mapped {
+		n.wbuf = n.vm.Mapped(page, n.wbuf[:0])
+		for _, l := range n.wbuf {
 			n.procs[l].pwn.Add(page)
 		}
 		p.chargeProtocol(c.model.LLSC)

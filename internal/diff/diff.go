@@ -105,6 +105,19 @@ func Copy(dst, src []int64) {
 	}
 }
 
+// CopyIn overwrites dst with src, reading src word-atomically but
+// writing dst with plain stores. It is valid only when no other
+// goroutine can access dst during the call: a freshly-allocated frame
+// not yet published to the fast path, or a pooled twin being refilled
+// under the owning node's lock. Plain stores avoid the atomic-exchange
+// cost that dominates Copy (roughly an order of magnitude on a full
+// page), which is why the allocation-free fetch and twin paths use it.
+func CopyIn(dst, src []int64) {
+	for i := range src {
+		dst[i] = atomic.LoadInt64(&src[i])
+	}
+}
+
 // Equal reports whether two pages hold identical contents.
 func Equal(a, b []int64) bool {
 	if len(a) != len(b) {
