@@ -10,6 +10,13 @@
 //	cashmere-bench -quick -all    # tiny problem sizes (seconds)
 //	cashmere-bench -all -j 8      # eight experiment cells in parallel
 //	cashmere-bench -all -json out.json -timeout 2m
+//	cashmere-bench -table 3 -trace sor.json   # Perfetto trace of one cell
+//
+// -trace records a structured event trace of one experiment cell
+// (chosen with -trace-cell, default SOR/2L/32:4) and writes it as
+// Chrome trace-event JSON, loadable at https://ui.perfetto.dev; with
+// -json, the traced cell's results also carry a "trace" summary of
+// event counts and latency histograms. See docs/TRACING.md.
 //
 // Experiment cells (application x protocol variant x topology) execute
 // through a bounded worker pool; -j sets its width (default GOMAXPROCS).
@@ -28,6 +35,7 @@ import (
 	"runtime/pprof"
 
 	"cashmere/internal/bench"
+	"cashmere/internal/trace"
 )
 
 func main() {
@@ -43,6 +51,9 @@ func main() {
 		progress = flag.Bool("progress", stderrIsTerminal(), "live progress line on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the -trace-cell run to this file")
+		traceCel = flag.String("trace-cell", "SOR/2L/32:4", "cell to trace, as app/variant/topology")
+		tracePgs = flag.String("trace-pages", "", "comma-separated page numbers for per-page trace notes")
 	)
 	flag.Parse()
 
@@ -62,6 +73,18 @@ func main() {
 	if *jsonPath != "" {
 		sink = bench.NewJSONSink(*quick, *workers)
 		s.SetJSON(sink)
+	}
+	if *traceOut != "" {
+		var pages map[int]bool
+		if *tracePgs != "" {
+			var err error
+			pages, err = trace.ParsePageList(*tracePgs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cashmere-bench: -trace-pages:", err)
+				exit(2)
+			}
+		}
+		s.SetTrace(*traceCel, pages)
 	}
 
 	w := os.Stdout
@@ -131,6 +154,21 @@ func main() {
 		f, err := os.Create(*jsonPath)
 		fail(err)
 		_, err = sink.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		fail(err)
+	}
+
+	if *traceOut != "" {
+		tr := s.TraceResult()
+		if tr == nil {
+			fmt.Fprintf(os.Stderr, "cashmere-bench: -trace: cell %s was not executed by the selected sections\n", *traceCel)
+			exit(1)
+		}
+		f, err := os.Create(*traceOut)
+		fail(err)
+		err = trace.WriteChrome(f, tr, trace.ChromeOptions{})
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

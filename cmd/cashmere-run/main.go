@@ -6,6 +6,15 @@
 //
 //	cashmere-run -app Gauss -protocol 2L -nodes 8 -ppn 4
 //	cashmere-run -app Barnes -protocol 1LD -homeopt -quick
+//	cashmere-run -app SOR -quick -trace sor.json        # Perfetto trace
+//	cashmere-run -app SOR -quick -trace-timeline - -trace-pages 0,3
+//
+// -trace records a structured event trace of the run and writes it as
+// Chrome trace-event JSON, loadable at https://ui.perfetto.dev.
+// -trace-timeline writes a plain-text per-page event timeline ("-" for
+// stdout), optionally restricted to the -trace-pages page numbers; it
+// is the structured successor of the CASHMERE_TRACE_PAGE environment
+// variable. See docs/TRACING.md.
 package main
 
 import (
@@ -16,6 +25,7 @@ import (
 	"cashmere/internal/apps"
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
+	"cashmere/internal/trace"
 )
 
 func protocolByName(name string) (core.Kind, bool) {
@@ -42,6 +52,9 @@ func main() {
 		lockBased  = flag.Bool("lockbased", false, "lock-based protocol metadata (Section 3.3.5 ablation)")
 		interrupts = flag.Bool("interrupts", false, "interrupt-based messaging instead of polling")
 		quick      = flag.Bool("quick", false, "tiny problem size")
+		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
+		traceTL    = flag.String("trace-timeline", "", `write a per-page event timeline to this file ("-" for stdout)`)
+		tracePgs   = flag.String("trace-pages", "", "comma-separated page numbers to restrict tracing output to")
 	)
 	flag.Parse()
 
@@ -73,10 +86,34 @@ func main() {
 		LockBasedMeta: *lockBased,
 		UseInterrupts: *interrupts,
 	}
+	var tr *trace.Tracer
+	if *traceOut != "" || *traceTL != "" {
+		var pages map[int]bool
+		if *tracePgs != "" {
+			var err error
+			pages, err = trace.ParsePageList(*tracePgs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cashmere-run: -trace-pages:", err)
+				os.Exit(2)
+			}
+		}
+		tr = trace.New(trace.Config{Procs: *nodes * *ppn, Links: *nodes, Pages: pages})
+		cfg.Trace = tr
+	}
 	res, err := apps.Run(app, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cashmere-run:", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		writeOut(*traceOut, func(f *os.File) error {
+			return trace.WriteChrome(f, tr, trace.ChromeOptions{})
+		})
+	}
+	if *traceTL != "" {
+		writeOut(*traceTL, func(f *os.File) error {
+			return trace.WritePageTimeline(f, tr, nil)
+		})
 	}
 	seq := app.SeqTime(costs.Default())
 	fmt.Printf("%s on %d:%d under %s — %s\n", app.Name(), *nodes**ppn, *ppn, kind, app.DataSet())
@@ -84,4 +121,27 @@ func main() {
 	fmt.Printf("sequential %.3fs, parallel %.3fs, speedup %.2f\n",
 		float64(seq)/1e9, res.ExecSeconds(), float64(seq)/float64(res.ExecNS))
 	fmt.Print(res.Total.String())
+}
+
+// writeOut writes through fn to the named file, or to stdout for "-".
+func writeOut(path string, fn func(*os.File) error) {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run:", err)
+			os.Exit(1)
+		}
+	}
+	err := fn(f)
+	if f != os.Stdout {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run:", err)
+		os.Exit(1)
+	}
 }

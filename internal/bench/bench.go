@@ -17,12 +17,14 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"cashmere/internal/apps"
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 )
 
 // Variant identifies a protocol configuration column.
@@ -89,6 +91,14 @@ type Suite struct {
 	exec func(name string, v Variant, topo Topology) (core.Result, error)
 
 	r *runner
+
+	// traceLabel selects the cell (app/variant/topology) whose run is
+	// recorded by a structured event tracer; empty disables tracing.
+	traceLabel string
+	tracePages map[int]bool
+
+	trMu    sync.Mutex
+	traceTr *trace.Tracer
 }
 
 type runKey struct {
@@ -129,6 +139,24 @@ func (s *Suite) SetProgress(w io.Writer) { s.r.prog = newProgress(w) }
 // SetJSON attaches a sink recording every completed cell for the
 // machine-readable results file.
 func (s *Suite) SetJSON(sink *JSONSink) { s.r.sink = sink }
+
+// SetTrace arranges for the cell with the given "app/variant/topology"
+// label (e.g. "SOR/2L/32:4") to run under a structured event tracer
+// (see internal/trace). pages optionally restricts per-page live notes
+// to those page numbers; nil records all pages. Call before the first
+// Run or prefetch; retrieve the recorder with TraceResult.
+func (s *Suite) SetTrace(cell string, pages map[int]bool) {
+	s.traceLabel = cell
+	s.tracePages = pages
+}
+
+// TraceResult returns the tracer of the cell selected with SetTrace,
+// or nil if that cell has not (successfully) executed.
+func (s *Suite) TraceResult() *trace.Tracer {
+	s.trMu.Lock()
+	defer s.trMu.Unlock()
+	return s.traceTr
+}
 
 // Close terminates the progress line, if one is active.
 func (s *Suite) Close() { s.r.prog.close() }
@@ -220,7 +248,26 @@ func (s *Suite) execute(name string, v Variant, topo Topology) (core.Result, err
 		LockBasedMeta: v.LockBased,
 		UseInterrupts: v.Interrupts,
 	}
-	return apps.Run(app, cfg)
+	key := runKey{name, v, topo}
+	var tr *trace.Tracer
+	if s.traceLabel != "" && keyLabel(key) == s.traceLabel {
+		tr = trace.New(trace.Config{
+			Procs: topo.Nodes * topo.PPN,
+			Links: topo.Nodes,
+			Pages: s.tracePages,
+		})
+		cfg.Trace = tr
+	}
+	res, err := apps.Run(app, cfg)
+	if tr != nil && err == nil {
+		s.trMu.Lock()
+		s.traceTr = tr
+		s.trMu.Unlock()
+		if s.r.sink != nil {
+			s.r.sink.noteTrace(key, tr.Summary())
+		}
+	}
+	return res, err
 }
 
 // Speedup returns the named application's speedup for a cached or fresh

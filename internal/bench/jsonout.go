@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 )
 
 // JSON results output: every completed experiment cell is recorded in a
@@ -29,6 +30,8 @@ import (
 //	      "counts": {"Barriers": 14, "ReadFaults": 59, ...},
 //	      "time_ns": {"User": ..., "Protocol": ..., ...},
 //	      "wall_ns": 1834000,
+//	      "trace": {...},         // present only for the cell traced
+//	                              // with -trace (see docs/TRACING.md)
 //	      "error": "..."          // present only for failed cells
 //	    }, ...
 //	  ]
@@ -64,6 +67,11 @@ type CellResult struct {
 	// WallNS is the host wall-clock time spent executing the cell.
 	WallNS int64 `json:"wall_ns"`
 
+	// Trace holds the structured-trace summary (event counts and
+	// latency/size histograms) for the cell selected with
+	// Suite.SetTrace; nil for untraced cells.
+	Trace *trace.Summary `json:"trace,omitempty"`
+
 	// Error is the failure message of a failed (errored, panicked, or
 	// timed-out) cell; empty on success.
 	Error string `json:"error,omitempty"`
@@ -81,14 +89,27 @@ type ResultsFile struct {
 // JSONSink accumulates per-cell results as the evaluation runs and
 // serializes them on WriteTo. It is safe for concurrent use.
 type JSONSink struct {
-	mu   sync.Mutex
-	file ResultsFile
+	mu     sync.Mutex
+	file   ResultsFile
+	trsums map[runKey]*trace.Summary
 }
 
 // NewJSONSink returns a sink describing an evaluation at the given
 // problem size and worker-pool width.
 func NewJSONSink(quick bool, workers int) *JSONSink {
 	return &JSONSink{file: ResultsFile{Tool: "cashmere-bench", Schema: 1, Quick: quick, Workers: workers}}
+}
+
+// noteTrace records a cell's trace summary, to be attached when the
+// cell itself is added (the runner adds cells after execution returns,
+// so the summary is always noted first).
+func (s *JSONSink) noteTrace(key runKey, sum trace.Summary) {
+	s.mu.Lock()
+	if s.trsums == nil {
+		s.trsums = make(map[runKey]*trace.Summary)
+	}
+	s.trsums[key] = &sum
+	s.mu.Unlock()
 }
 
 // add records one completed cell.
@@ -120,6 +141,9 @@ func (s *JSONSink) add(key runKey, out cellOut) {
 		}
 	}
 	s.mu.Lock()
+	if sum, ok := s.trsums[key]; ok && out.err == nil {
+		cr.Trace = sum
+	}
 	s.file.Cells = append(s.file.Cells, cr)
 	s.mu.Unlock()
 }

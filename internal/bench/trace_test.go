@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/core"
+	"cashmere/internal/trace"
+)
+
+// TestTracingPreservesVirtualTime is the off-path guarantee of the
+// observability layer: attaching a tracer must not change any
+// virtual-time accounting, so a traced run and an untraced run of a
+// deterministic application produce bit-identical stat vectors. Runs
+// under the same conditions as TestVirtualTimeDeterminism (no -race,
+// GOMAXPROCS pinned — see that test's comment).
+func TestTracingPreservesVirtualTime(t *testing.T) {
+	if raceEnabled {
+		t.Skip("virtual-time tie-breaks are host-order dependent under -race (see determinism_test.go)")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	cfg := core.Config{
+		Nodes:        FullCluster.Nodes,
+		ProcsPerNode: FullCluster.PPN,
+		Protocol:     core.TwoLevel,
+	}
+	plain, err := apps.Run(freshApp(t, "SOR"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Config{
+		Procs: cfg.Nodes * cfg.ProcsPerNode,
+		Links: cfg.Nodes,
+	})
+	cfg.Trace = tr
+	traced, err := apps.Run(freshApp(t, "SOR"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareResults(t, plain, traced)
+
+	sum := tr.Summary()
+	if sum.Events["barrier"] == 0 || sum.Events["page-fetch"] == 0 {
+		t.Errorf("traced run recorded no protocol events: %v", sum.Events)
+	}
+}
+
+// TestSuiteSetTrace checks the bench plumbing: the selected cell (and
+// only that cell) runs under a tracer, the tracer is retrievable, and
+// the JSON sink attaches the trace summary to the matching cell.
+func TestSuiteSetTrace(t *testing.T) {
+	s := NewSuite(true)
+	sink := NewJSONSink(true, 1)
+	s.SetJSON(sink)
+	s.SetTrace("SOR/2L/8:2", nil)
+
+	v := Variant{Kind: core.TwoLevel}
+	if _, err := s.Run("SOR", v, Topology{Nodes: 4, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("LU", v, Topology{Nodes: 4, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.TraceResult()
+	if tr == nil {
+		t.Fatal("TraceResult nil after the selected cell ran")
+	}
+	if tr.Summary().Events["barrier"] == 0 {
+		t.Error("selected cell's tracer recorded no barriers")
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	var traced, untraced int
+	for _, c := range sink.file.Cells {
+		if c.Trace != nil {
+			traced++
+			if c.App != "SOR" {
+				t.Errorf("trace summary attached to %s/%s/%s", c.App, c.Variant, c.Topology)
+			}
+		} else {
+			untraced++
+		}
+	}
+	if traced != 1 || untraced != 1 {
+		t.Errorf("traced/untraced cells = %d/%d, want 1/1", traced, untraced)
+	}
+}

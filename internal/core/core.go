@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,7 @@ import (
 	"cashmere/internal/msync"
 	"cashmere/internal/sim"
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 	"cashmere/internal/vm"
 	"cashmere/internal/wnotice"
 )
@@ -116,6 +118,16 @@ type Config struct {
 
 	// Model supplies operation costs; zero value means costs.Default().
 	Model *costs.Model
+
+	// Trace attaches a structured protocol-event recorder
+	// (internal/trace). It must be sized for at least the cluster's
+	// processor and physical-node counts. Nil disables tracing — the
+	// protocol then pays one nil check per emission site, the access
+	// fast path is untouched, and virtual-time results are bit-identical
+	// to a build without the tracing layer. When nil and the
+	// CASHMERE_TRACE_PAGE environment variable is set, New builds a
+	// compatibility tracer that streams the variable's pages to stderr.
+	Trace *trace.Tracer
 }
 
 func (c *Config) fill() error {
@@ -224,6 +236,7 @@ type Cluster struct {
 	model *costs.Model
 	net   *memchan.Network
 	dir   *directory.Global
+	tr    *trace.Tracer // nil when tracing is disabled
 
 	pages      int
 	superpages int
@@ -279,7 +292,26 @@ func New(cfg Config) (*Cluster, error) {
 	c.pages = (cfg.SharedWords + cfg.PageWords - 1) / cfg.PageWords
 	c.superpages = (c.pages + cfg.SuperpagePages - 1) / cfg.SuperpagePages
 
+	total := cfg.Nodes * cfg.ProcsPerNode
+	c.tr = cfg.Trace
+	if c.tr == nil {
+		c.tr = envTracer(total, cfg.Nodes)
+	}
+	if c.tr != nil {
+		if c.tr.Procs() < total || c.tr.Links() < cfg.Nodes {
+			return nil, fmt.Errorf("core: tracer sized for %d procs / %d links, cluster needs %d / %d",
+				c.tr.Procs(), c.tr.Links(), total, cfg.Nodes)
+		}
+		// Reject filter pages the address space does not contain, with
+		// the same warning bad CASHMERE_TRACE_PAGE values get.
+		c.tr.ClampPages(c.pages, func(page int) {
+			fmt.Fprintf(os.Stderr, "cashmere: ignoring traced page %d: cluster has %d pages\n",
+				page, c.pages)
+		})
+	}
+
 	c.net = memchan.New(cfg.Nodes, *c.model)
+	c.net.SetTracer(c.tr)
 
 	protoNodes := cfg.Nodes
 	if !cfg.Protocol.TwoLevelFamily() {
@@ -325,7 +357,6 @@ func New(cfg Config) (*Cluster, error) {
 		c.nodes[i] = n
 	}
 
-	total := cfg.Nodes * cfg.ProcsPerNode
 	c.procs = make([]*Proc, total)
 	for g := 0; g < total; g++ {
 		pn := c.protoOfProc(g)
@@ -344,6 +375,10 @@ func New(cfg Config) (*Cluster, error) {
 			nle:       wnotice.NewPerProc(c.pages),
 			pwn:       wnotice.NewPerProc(c.pages),
 			dirtyIn:   make([]bool, c.pages),
+		}
+		if c.tr != nil {
+			p.tr = c.tr
+			p.ring = c.tr.ProcRing(g)
 		}
 		for i := range p.tlb {
 			p.tlb[i].page = -1
@@ -404,6 +439,11 @@ func (c *Cluster) PageWords() int { return c.cfg.PageWords }
 
 // Config returns the cluster's (filled-in) configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// Tracer returns the attached protocol-event tracer (which may have
+// been built from CASHMERE_TRACE_PAGE), or nil when tracing is
+// disabled.
+func (c *Cluster) Tracer() *trace.Tracer { return c.tr }
 
 // Result summarizes a run.
 type Result struct {

@@ -4,6 +4,7 @@ import (
 	"cashmere/internal/diff"
 	"cashmere/internal/directory"
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 )
 
 // Exclusive mode (paper Sections 2.2 and 2.4.1).
@@ -36,6 +37,12 @@ func (p *Proc) maybeBreakExclusive(page int) bool {
 // the requester's wait).
 func (p *Proc) breakExclusive(page, holderNode, holderProc int) {
 	c := p.c
+	if p.ring != nil {
+		begin := p.clk.Now()
+		defer func() {
+			p.emitSpan(trace.EvExclBreak, page, begin, int64(holderNode), int64(holderProc))
+		}()
+	}
 	p.st.Inc(stats.ExplicitRequests)
 	req := c.model.ExplicitRequest
 	if c.cfg.UseInterrupts {
@@ -98,6 +105,7 @@ func (p *Proc) breakExclusive(page, holderNode, holderProc int) {
 		x.twins[page] = x.newTwin(c.masters[page])
 		p.st.Inc(stats.TwinCreations)
 		p.chargeProtocol(c.model.Twin)
+		p.emit(trace.EvTwin, page, int64(c.cfg.PageWords), 0)
 	}
 	// The holder and any remaining local writers get no-longer-exclusive
 	// notices to find at their next releases — even on the home node,

@@ -6,6 +6,7 @@ import (
 	"cashmere/internal/diff"
 	"cashmere/internal/directory"
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 )
 
 // Page fault handling (paper Section 2.4.1).
@@ -18,8 +19,19 @@ import (
 // twin and a dirty-list entry when other nodes share the page, or moves
 // the page into exclusive mode when they don't.
 
-// readFault services a read access violation on page.
+// readFault services a read access violation on page, recording the
+// fault's virtual-time span when tracing is on.
 func (p *Proc) readFault(page int) {
+	if p.ring == nil {
+		p.doReadFault(page)
+		return
+	}
+	begin := p.clk.Now()
+	p.doReadFault(page)
+	p.emitSpan(trace.EvReadFault, page, begin, 0, 0)
+}
+
+func (p *Proc) doReadFault(page int) {
 	p.trace(page, "readFault")
 	p.st.Inc(stats.ReadFaults)
 	p.chargeProtocol(p.c.model.PageFault)
@@ -55,8 +67,19 @@ func (p *Proc) readFault(page int) {
 	}
 }
 
-// writeFault services a write access violation on page.
+// writeFault services a write access violation on page, recording the
+// fault's virtual-time span when tracing is on.
 func (p *Proc) writeFault(page int) {
+	if p.ring == nil {
+		p.doWriteFault(page)
+		return
+	}
+	begin := p.clk.Now()
+	p.doWriteFault(page)
+	p.emitSpan(trace.EvWriteFault, page, begin, 0, 0)
+}
+
+func (p *Proc) doWriteFault(page int) {
 	p.trace(page, "writeFault")
 	p.st.Inc(stats.WriteFaults)
 	p.chargeProtocol(p.c.model.PageFault)
@@ -98,6 +121,7 @@ func (p *Proc) writeFault(page int) {
 			p.table.Set(page, directory.ReadWrite)
 			p.chargeProtocol(p.c.model.MProtect)
 			p.st.Inc(stats.ExclTransitions)
+			p.emit(trace.EvExclEnter, page, 0, 0)
 			p.publishOwnWord(page, p.global)
 
 		default:
@@ -109,6 +133,7 @@ func (p *Proc) writeFault(page int) {
 				n.twins[page] = n.newTwin(frame)
 				p.st.Inc(stats.TwinCreations)
 				p.chargeProtocol(p.c.model.Twin)
+				p.emit(trace.EvTwin, page, int64(p.c.cfg.PageWords), 0)
 			}
 			wasLoosest := n.vm.Loosest(page)
 			p.table.Set(page, directory.ReadWrite)
@@ -225,6 +250,7 @@ func (p *Proc) fetchPage(page, homeProto int) {
 	physHome := c.physOfProto(homeProto)
 	local := physHome == p.n.phys
 	pageBytes := int64(c.cfg.PageWords) * memchanWordBytes
+	begin := p.clk.Now()
 
 	p.st.Inc(stats.PageTransfers)
 	p.st.Data(pageBytes)
@@ -243,6 +269,7 @@ func (p *Proc) fetchPage(page, homeProto int) {
 		target = arrival
 	}
 	p.chargeWait(target)
+	p.emitSpan(trace.EvPageFetch, page, begin, pageBytes, int64(homeProto))
 }
 
 // applyUpdate merges freshly fetched master data into an existing local
@@ -283,6 +310,7 @@ func (p *Proc) applyUpdate(page int, frame []int64) {
 			n.vm.Proc(w).Set(page, directory.ReadOnly)
 			p.st.Inc(stats.Shootdowns)
 			p.chargeProtocol(cost)
+			p.emit(trace.EvShootdown, page, int64(w), 0)
 		}
 		// Drain in-flight store-range runs on the page: a run that
 		// validated its mapping before the revocation above may still
@@ -292,15 +320,18 @@ func (p *Proc) applyUpdate(page int, frame []int64) {
 		// writer to leave the page. Writers cannot start a new run:
 		// the revocation is visible to their next validation, and the
 		// fault they take then blocks on the node mutex we hold.
+		revoked := int64(0)
 		for _, w := range writers {
 			if w == p.local {
 				continue
 			}
+			revoked++
 			victim := &n.procs[w].activeRange
 			for victim.Load() == int64(page) {
 				runtime.Gosched()
 			}
 		}
+		p.emit(trace.EvShootdownDrain, page, revoked, 0)
 		changed := diff.Outgoing(frame, twin, master)
 		if changed > 0 {
 			p.flushBytes(page, changed)
@@ -317,6 +348,7 @@ func (p *Proc) applyUpdate(page int, frame []int64) {
 	changed := diff.Incoming(frame, twin, master)
 	p.st.Inc(stats.IncomingDiffs)
 	p.chargeProtocol(c.model.IncomingDiff(changed, c.cfg.PageWords))
+	p.emit(trace.EvDiffIn, page, int64(changed), 0)
 }
 
 // flushBytes accounts for changed words of diff data flowing from p's
@@ -333,4 +365,5 @@ func (p *Proc) flushBytes(page, changedWords int) {
 	p.st.Data(bytes)
 	arrival := c.net.Transfer(p.n.phys, bytes, p.clk.Now())
 	p.chargeWait(arrival)
+	p.emit(trace.EvDiffOut, page, int64(changedWords), 0)
 }

@@ -5,6 +5,7 @@ import (
 
 	"cashmere/internal/directory"
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 )
 
 // Home-node management (paper Section 2.3, "Home node selection").
@@ -86,6 +87,7 @@ func (p *Proc) maybeFirstTouch(page int) {
 	p.trace(page, "first-touch: superpage %d home %d -> %d", sp, oldProto, newProto)
 	c.homes[sp].Store(encodeHome(newProto, p.global, true))
 	p.st.Inc(stats.HomeMigrations)
+	p.emit(trace.EvHomeMigrate, page, int64(oldProto), int64(newProto))
 	c.homeLock.Release(p.clk.Now())
 }
 
@@ -137,6 +139,7 @@ func (c *Cluster) storeDirWord(p *Proc, by, page int, w directory.Word) {
 	}
 	p.st.Inc(stats.DirectoryUpdates)
 	p.st.Data(memchanWordBytes)
+	p.emit(trace.EvDirUpdate, page, int64(by), 0)
 }
 
 // publishOwnWord recomputes and broadcasts p's node's directory word for

@@ -8,6 +8,7 @@ import (
 	"cashmere/internal/memchan"
 	"cashmere/internal/sim"
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 	"cashmere/internal/vm"
 	"cashmere/internal/wnotice"
 )
@@ -101,6 +102,12 @@ type Proc struct {
 	// protocol operations, then drains onto the network for contention
 	// accounting.
 	doubledBytes int64
+
+	// tr and ring carry the structured event tracer (internal/trace);
+	// both are nil when tracing is disabled, and every emission site is
+	// gated on a single nil check of ring (see events.go).
+	tr   *trace.Tracer
+	ring *trace.Ring
 }
 
 // ID returns the processor's global id.

@@ -4,6 +4,7 @@ import (
 	"cashmere/internal/diff"
 	"cashmere/internal/directory"
 	"cashmere/internal/stats"
+	"cashmere/internal/trace"
 )
 
 // Synchronization entry points and the consistency actions they trigger
@@ -20,34 +21,43 @@ import (
 // consistency actions.
 func (p *Proc) Lock(i int) {
 	c := p.c
+	begin := p.clk.Now()
 	cost := c.model.LockAcquire(c.cfg.Protocol.TwoLevelFamily())
 	held := c.locks[i].Acquire(p.n.phys, p.clk.Now(), cost)
 	p.chargeProtocol(cost)
 	p.chargeWait(held)
 	p.st.Inc(stats.LockAcquires)
 	p.acquireActions()
+	p.emitSpan(trace.EvLock, -1, begin, int64(i), 0)
 }
 
 // Unlock performs release-side consistency actions, then releases
 // application lock i.
 func (p *Proc) Unlock(i int) {
+	begin := p.clk.Now()
 	p.releaseActions()
 	p.c.locks[i].Release(p.n.phys, p.clk.Now())
+	p.emitSpan(trace.EvUnlock, -1, begin, int64(i), 0)
 }
 
 // SetFlag performs release-side consistency actions and raises flag i.
 func (p *Proc) SetFlag(i int) {
+	begin := p.clk.Now()
 	p.releaseActions()
 	p.c.flags[i].Set(p.n.phys, p.clk.Now())
+	p.emitSpan(trace.EvFlagSet, -1, begin, int64(i), 0)
 }
 
 // WaitFlag blocks until flag i is raised, then performs acquire-side
 // consistency actions.
 func (p *Proc) WaitFlag(i int) {
+	begin := p.clk.Now()
 	t := p.c.flags[i].Wait(p.clk.Now())
 	p.chargeWait(t)
 	p.st.Inc(stats.LockAcquires)
 	p.acquireActions()
+	p.emitLink(trace.EvMsgDeliver, t, -1, int64(i), 0)
+	p.emitSpan(trace.EvFlagWait, -1, begin, int64(i), 0)
 }
 
 // FlagSet reports whether flag i has been raised (without acquiring).
@@ -68,6 +78,7 @@ func (p *Proc) ResetFlag(i int) {
 func (p *Proc) Barrier() {
 	c := p.c
 	n := p.n
+	begin := p.clk.Now()
 	p.drainDoubled()
 
 	n.mu.Lock()
@@ -88,6 +99,7 @@ func (p *Proc) Barrier() {
 	n.mu.Unlock()
 
 	p.acquireActions()
+	p.emitSpan(trace.EvBarrier, -1, begin, 0, 0)
 }
 
 // flushForBarrier applies the last-arriving-local-writer rule to the
@@ -263,6 +275,7 @@ func (p *Proc) flushPage(page int, releaseStart int64) {
 		}
 		p.trace(page, "notice -> node %d", x)
 		p.postNotice(x, page)
+		p.emit(trace.EvNoticeSend, page, int64(x), 0)
 	}
 
 	p.downgradeAfterFlush(page)
@@ -339,6 +352,7 @@ func (p *Proc) acquireActions() {
 		p.trace(page, "acquire invalidate: updTS=%d wnTS=%d", meta.updateTS, meta.wnTS)
 		p.table.Set(page, directory.Invalid)
 		p.chargeProtocol(c.model.MProtect)
+		p.emit(trace.EvNoticeApply, page, 0, 0)
 		if !c.cfg.Protocol.TwoLevelFamily() && n.vm.Loosest(page) == directory.Invalid {
 			// Only the one-level protocols remove themselves from the
 			// sharing set at an acquire (Section 2.6). Cashmere-2L

@@ -3,62 +3,81 @@ package core
 import (
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"sync"
+
+	"cashmere/internal/trace"
 )
 
-// Protocol event tracing, enabled by setting CASHMERE_TRACE_PAGE to a
-// page number or a comma-separated list of page numbers: every protocol
-// transition touching those pages is logged to stderr. Zero overhead
-// when disabled (a single nil check). A value that does not parse is
-// reported on stderr rather than silently disabling the trace the user
-// asked for.
+// Protocol event tracing. The structured layer lives in internal/trace;
+// a cluster records events when Config.Trace carries a tracer. The
+// legacy CASHMERE_TRACE_PAGE environment variable — a page number or a
+// comma-separated list — is kept as a zero-configuration entry point:
+// when it is set and no tracer was supplied, New builds a tracer whose
+// page filter comes from the variable and whose live stream goes to
+// stderr, so every free-form protocol note for those pages appears as
+// it always has. A value that does not parse is reported on stderr
+// rather than silently disabling the trace the user asked for, and —
+// once the cluster's page count is known — page numbers beyond it are
+// rejected with the same warning instead of silently never matching.
 
 var (
-	traceMu    sync.Mutex
-	tracePages map[int]bool
+	envTraceOnce  sync.Once
+	envTracePages map[int]bool
 )
 
-func init() {
-	v, ok := os.LookupEnv("CASHMERE_TRACE_PAGE")
-	if !ok {
-		return
+// envPageFilter parses CASHMERE_TRACE_PAGE once per process, reporting
+// bad values on stderr.
+func envPageFilter() map[int]bool {
+	envTraceOnce.Do(func() {
+		v, ok := os.LookupEnv("CASHMERE_TRACE_PAGE")
+		if !ok {
+			return
+		}
+		pages, err := parseTracePages(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cashmere: ignoring CASHMERE_TRACE_PAGE=%q: %v\n", v, err)
+			return
+		}
+		envTracePages = pages
+	})
+	return envTracePages
+}
+
+// envTracer builds the CASHMERE_TRACE_PAGE compatibility tracer for a
+// cluster of the given shape, or returns nil when the variable is
+// unset. The filter map is copied: New clamps it to the cluster's page
+// count, and clusters must not edit each other's filters.
+func envTracer(procs, links int) *trace.Tracer {
+	env := envPageFilter()
+	if len(env) == 0 {
+		return nil
 	}
-	pages, err := parseTracePages(v)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cashmere: ignoring CASHMERE_TRACE_PAGE=%q: %v\n", v, err)
-		return
+	pages := make(map[int]bool, len(env))
+	for p := range env {
+		pages[p] = true
 	}
-	tracePages = pages
+	return trace.New(trace.Config{
+		Procs:    procs,
+		Links:    links,
+		RingSize: 1 << 12,
+		Pages:    pages,
+		Live:     os.Stderr,
+	})
 }
 
 // parseTracePages parses a comma-separated list of non-negative page
-// numbers ("7" or "7,12,40"). Empty elements are rejected so a typo
-// like "7,,12" is reported instead of silently dropped.
+// numbers ("7" or "7,12,40"); see trace.ParsePageList for the accepted
+// syntax.
 func parseTracePages(v string) (map[int]bool, error) {
-	pages := make(map[int]bool)
-	for _, field := range strings.Split(v, ",") {
-		field = strings.TrimSpace(field)
-		n, err := strconv.Atoi(field)
-		if err != nil {
-			return nil, fmt.Errorf("bad page number %q", field)
-		}
-		if n < 0 {
-			return nil, fmt.Errorf("negative page number %d", n)
-		}
-		pages[n] = true
-	}
-	return pages, nil
+	return trace.ParsePageList(v)
 }
 
-// trace logs a protocol event for page when tracing is enabled.
+// trace writes a live free-form note for page when a tracer with a
+// matching page filter is attached. Zero overhead when tracing is
+// disabled (a single nil check).
 func (p *Proc) trace(page int, format string, args ...any) {
-	if !tracePages[page] {
+	if p.tr == nil {
 		return
 	}
-	traceMu.Lock()
-	fmt.Fprintf(os.Stderr, "[p%d n%d pg%d] %s\n",
-		p.global, p.n.id, page, fmt.Sprintf(format, args...))
-	traceMu.Unlock()
+	p.tr.Notef(p.global, p.n.id, page, format, args...)
 }

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"cashmere/internal/trace"
+)
 
 func TestParseTracePages(t *testing.T) {
 	good := []struct {
@@ -33,5 +37,46 @@ func TestParseTracePages(t *testing.T) {
 		if pages, err := parseTracePages(in); err == nil {
 			t.Errorf("parseTracePages(%q) = %v, want error", in, pages)
 		}
+	}
+}
+
+// TestNewClampsTracedPages: page numbers beyond the cluster's page
+// count are removed from the tracer's filter (with a stderr warning)
+// instead of silently never matching.
+func TestNewClampsTracedPages(t *testing.T) {
+	cfg := testConfig(TwoLevel, 2, 2)
+	pages := cfg.SharedWords / cfg.PageWords
+	tr := trace.New(trace.Config{
+		Procs: cfg.Nodes * cfg.ProcsPerNode,
+		Links: cfg.Nodes,
+		Pages: map[int]bool{0: true, pages - 1: true, pages: true, pages + 7: true},
+	})
+	cfg.Trace = tr
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tracer() != tr {
+		t.Fatal("cluster did not adopt the supplied tracer")
+	}
+	if !tr.TracesPage(0) || !tr.TracesPage(pages-1) {
+		t.Error("in-range pages dropped from the filter")
+	}
+	if tr.TracesPage(pages) || tr.TracesPage(pages+7) {
+		t.Error("out-of-range pages survived New")
+	}
+}
+
+// TestNewRejectsUndersizedTracer: a tracer with too few rings for the
+// cluster is a configuration error, not a silent partial trace.
+func TestNewRejectsUndersizedTracer(t *testing.T) {
+	cfg := testConfig(TwoLevel, 2, 2)
+	cfg.Trace = trace.New(trace.Config{Procs: 1, Links: 2})
+	if _, err := New(cfg); err == nil {
+		t.Error("tracer with 1 proc ring accepted for a 4-proc cluster")
+	}
+	cfg.Trace = trace.New(trace.Config{Procs: 4, Links: 1})
+	if _, err := New(cfg); err == nil {
+		t.Error("tracer with 1 link ring accepted for a 2-node cluster")
 	}
 }

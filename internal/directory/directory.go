@@ -20,6 +20,17 @@
 // The one-level protocols use the same machinery with one word per
 // processor, and the lock-based ablation (Section 3.3.5) serializes
 // updates behind per-page global locks.
+//
+// # Concurrency
+//
+// All methods are safe for concurrent use. Reads are lock-free atomic
+// loads from the caller's local replica. The soundness of concurrent
+// Store calls rests on the single-writer discipline above: node x only
+// ever stores words at index x of an entry, so two Stores to the same
+// word never race at the protocol level (the simulator's atomics make
+// any accidental violation a stale read, not a torn one). Under the
+// lock-based ablation callers must bracket Store with the page's
+// PageLock; the directory itself does not acquire it.
 package directory
 
 import (

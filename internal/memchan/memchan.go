@@ -25,6 +25,16 @@
 // latency, 29 MB/s per-link (PCI-limited) bandwidth, and roughly 60 MB/s
 // aggregate through the hub — the Memory Channel is a serial global
 // interconnect, so bulk transfers from all nodes contend for it.
+//
+// # Concurrency
+//
+// All Network and Region methods are safe for concurrent use by any
+// number of simulated processors. Region words are read and written
+// with sequentially-consistent atomics, which is what gives the
+// simulated network its write-ordering property; Transfer serializes
+// bandwidth accounting through the sim.Bus mutexes. SetTracer is the
+// one exception: it must be called before the network carries traffic
+// (New in internal/core calls it during cluster construction).
 package memchan
 
 import (
@@ -33,6 +43,7 @@ import (
 
 	"cashmere/internal/costs"
 	"cashmere/internal/sim"
+	"cashmere/internal/trace"
 )
 
 // Network is a simulated Memory Channel connecting a fixed set of nodes.
@@ -42,6 +53,7 @@ type Network struct {
 	hub   *sim.Bus
 	links []*sim.Bus
 	moved atomic.Int64 // total bytes moved, for accounting and tests
+	tr    *trace.Tracer
 }
 
 // New creates a network connecting nodes nodes using the given timing
@@ -71,6 +83,14 @@ func (n *Network) Model() costs.Model { return n.model }
 // BytesMoved returns the total payload bytes transferred so far.
 func (n *Network) BytesMoved() int64 { return n.moved.Load() }
 
+// SetTracer attaches a structured event tracer (nil disables tracing).
+// The tracer must have at least Nodes() link tracks. Not safe to call
+// concurrently with traffic; set it before the simulation starts.
+func (n *Network) SetTracer(t *trace.Tracer) { n.tr = t }
+
+// Tracer returns the attached tracer, or nil when tracing is off.
+func (n *Network) Tracer() *trace.Tracer { return n.tr }
+
 // Transfer models a bulk transfer of nbytes injected by node src at
 // virtual time now and returns the time the data is globally performed.
 // The transfer occupies the source's PCI link and the shared hub
@@ -90,7 +110,19 @@ func (n *Network) Transfer(src int, nbytes int64, now int64) int64 {
 	if hubDone > done {
 		done = hubDone
 	}
-	return done + n.model.MCWriteLatency
+	done += n.model.MCWriteLatency
+	if n.tr != nil {
+		n.tr.EmitLink(src, trace.Event{
+			Kind: trace.EvLinkTransfer,
+			Proc: -1,
+			Node: int32(src),
+			Page: -1,
+			VT:   now,
+			Dur:  done - now,
+			Arg:  nbytes,
+		})
+	}
+	return done
 }
 
 // WordBytes is the size of one region word. The hardware's write grain
@@ -139,6 +171,9 @@ func (n *Network) NewRegionAt(words int, loopback bool, receivers ...int) *Regio
 
 // Words returns the region's length in words.
 func (r *Region) Words() int { return r.words }
+
+// Network returns the network the region is mapped on.
+func (r *Region) Network() *Network { return r.net }
 
 // Receives reports whether node maps the region for receive.
 func (r *Region) Receives(node int) bool {

@@ -22,11 +22,23 @@
 // Flags are write-once notifications (Gauss's per-row availability
 // flags): the setter's Memory Channel write is globally performed one
 // write latency after the set, and waiters resume no earlier than that.
+//
+// # Concurrency
+//
+// Lock, Barrier, and Flag methods are safe for concurrent use by any
+// number of simulated processors, with two documented exceptions that
+// mirror the application contracts: Flag.Reset must not race with Set,
+// Wait, or another Reset (the caller separates them with application
+// synchronization), and each primitive must be fully constructed before
+// it is shared. Contention races are resolved by host mutexes inside
+// sim.VLock/sim.Rendezvous/sim.VFlag; the Memory Channel array and cell
+// writes are atomic through memchan.Region.
 package msync
 
 import (
 	"cashmere/internal/memchan"
 	"cashmere/internal/sim"
+	"cashmere/internal/trace"
 )
 
 // Lock is a cluster-wide application lock.
@@ -48,6 +60,7 @@ func (l *Lock) Acquire(node int, now, acquireCost int64) int64 {
 	held := l.v.Acquire(now, acquireCost)
 	// Set our array entry; the loop-back wait is part of acquireCost.
 	l.array.Write(node, node, 1, held)
+	emitMsg(l.array, node, held, trace.MsgLockAcquire)
 	return held
 }
 
@@ -56,6 +69,7 @@ func (l *Lock) Acquire(node int, now, acquireCost int64) int64 {
 func (l *Lock) Release(node int, now int64) {
 	l.array.Write(node, node, 0, now)
 	l.v.Release(now)
+	emitMsg(l.array, node, now, trace.MsgLockRelease)
 }
 
 // HeldBy reports whether node's array entry is set, as observed from
@@ -114,6 +128,7 @@ func (fl *Flag) Set(node int, now int64) {
 		visible = fl.resetVis
 	}
 	fl.f.Set(visible)
+	emitMsgSpan(fl.cell, node, now, visible-now, trace.MsgFlagSet)
 }
 
 // Wait blocks until the flag is set and returns the earliest virtual
@@ -137,4 +152,27 @@ func (fl *Flag) IsSet() bool { return fl.f.IsSet() }
 func (fl *Flag) Reset(node int, now int64) {
 	fl.resetVis = fl.cell.Write(node, 0, 0, now)
 	fl.f.Reset()
+	emitMsg(fl.cell, node, now, trace.MsgFlagReset)
+}
+
+// emitMsg records a synchronization message on node's link track of the
+// region's network tracer, if one is attached.
+func emitMsg(r *memchan.Region, node int, vt int64, sub int64) {
+	emitMsgSpan(r, node, vt, 0, sub)
+}
+
+func emitMsgSpan(r *memchan.Region, node int, vt, dur int64, sub int64) {
+	tr := r.Network().Tracer()
+	if tr == nil {
+		return
+	}
+	tr.EmitLink(node, trace.Event{
+		Kind: trace.EvMsgSend,
+		Proc: -1,
+		Node: int32(node),
+		Page: -1,
+		VT:   vt,
+		Dur:  dur,
+		Arg2: sub,
+	})
 }

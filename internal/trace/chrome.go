@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export. The output is the JSON-object form of the
+// Chrome trace-event format ({"traceEvents": [...]}), which Perfetto
+// (https://ui.perfetto.dev) loads directly. The timeline is virtual
+// time — the time axis the protocol's cost model defines — rendered as
+// one process ("processors") with a thread per simulated processor and
+// a second process ("memchan") with a thread per link. Spans are "X"
+// (complete) events; instants are "i" events with thread scope.
+//
+// By default the export contains only virtual-time data and is
+// therefore byte-for-byte deterministic for deterministic runs (the
+// golden test relies on this). ChromeOptions.Wall adds each event's
+// host wall-clock stamp to its args.
+
+// ChromeOptions configures WriteChrome.
+type ChromeOptions struct {
+	// Wall includes each event's host wall-clock nanosecond stamp as an
+	// arg. It makes the output nondeterministic across runs.
+	Wall bool
+}
+
+// chromePIDs for the two track groups.
+const (
+	chromePIDProcs = 1
+	chromePIDLinks = 2
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// argNames gives kind-specific names to Arg/Arg2 so the Perfetto UI
+// reads naturally; kinds missing here fall back to "arg"/"arg2".
+var argNames = map[Kind][2]string{
+	EvPageFetch:      {"bytes", "home"},
+	EvTwin:           {"words", ""},
+	EvDiffOut:        {"words", ""},
+	EvDiffIn:         {"words", ""},
+	EvNoticeSend:     {"to", ""},
+	EvShootdown:      {"victim", ""},
+	EvShootdownDrain: {"writers", ""},
+	EvExclBreak:      {"holder_node", "holder_proc"},
+	EvLock:           {"lock", ""},
+	EvUnlock:         {"lock", ""},
+	EvFlagSet:        {"flag", ""},
+	EvFlagWait:       {"flag", ""},
+	EvDirUpdate:      {"by", ""},
+	EvHomeMigrate:    {"from", "to"},
+	EvLinkTransfer:   {"bytes", ""},
+	EvMsgSend:        {"off", "subtype"},
+}
+
+// WriteChrome writes the tracer's events as Chrome trace-event JSON.
+func WriteChrome(w io.Writer, t *Tracer, opts ChromeOptions) error {
+	file := chromeFile{DisplayTimeUnit: "ns"}
+
+	meta := func(pid int, name string) {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	thread := func(pid, tid int, name string) {
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromePIDProcs, "processors")
+	for i := 0; i < t.Procs(); i++ {
+		thread(chromePIDProcs, i, "cpu "+strconv.Itoa(i))
+	}
+	if t.Links() > 0 {
+		meta(chromePIDLinks, "memchan")
+		for i := 0; i < t.Links(); i++ {
+			thread(chromePIDLinks, i, "link "+strconv.Itoa(i))
+		}
+	}
+
+	for _, e := range t.Events() {
+		ce := chromeEvent{
+			Name: e.Kind.String(),
+			Cat:  "protocol",
+			Ts:   float64(e.VT) / 1e3, // trace-event ts is microseconds
+		}
+		if e.Proc >= 0 {
+			ce.Pid, ce.Tid = chromePIDProcs, int(e.Proc)
+		} else {
+			ce.Pid, ce.Tid = chromePIDLinks, int(e.Node)
+			ce.Cat = "memchan"
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			d := float64(e.Dur) / 1e3
+			ce.Dur = &d
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		args := make(map[string]any)
+		if e.Page >= 0 {
+			args["page"] = e.Page
+		}
+		names := argNames[e.Kind]
+		if names[0] == "" {
+			names[0] = "arg"
+		}
+		if names[1] == "" {
+			names[1] = "arg2"
+		}
+		if e.Arg != 0 {
+			args[names[0]] = e.Arg
+		}
+		if e.Arg2 != 0 {
+			args[names[1]] = e.Arg2
+		}
+		if opts.Wall {
+			args["wt_ns"] = e.WT
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		file.TraceEvents = append(file.TraceEvents, ce)
+	}
+
+	buf, err := json.MarshalIndent(&file, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram summaries are accumulated at emission time, not derived
+// from ring contents, so they stay exact even after a ring has wrapped
+// and overwritten its oldest events. Buckets are powers of two (bucket
+// i holds values v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i),
+// which is plenty of resolution for "where does protocol time go"
+// questions while keeping the accumulators atomic and allocation-free.
+
+// hist is a power-of-two-bucketed histogram safe for one concurrent
+// writer and any number of readers.
+type hist struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *hist) add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// note feeds r's summary accumulators from one emitted event. Called by
+// the ring's producer only.
+func (r *Ring) note(e Event) {
+	r.counts[e.Kind].Add(1)
+	switch e.Kind {
+	case EvReadFault, EvWriteFault:
+		r.faultNS.add(e.Dur)
+	case EvDiffOut, EvDiffIn:
+		r.diffWords.add(e.Arg)
+	case EvNoticeSend, EvDirUpdate, EvPageFetch, EvMsgSend:
+		r.msgsSince++
+	case EvBarrier:
+		r.msgsBar.add(r.msgsSince)
+		r.msgsSince = 0
+	}
+}
+
+// HistBucket is one populated histogram bucket: values in [Lo, 2*Lo)
+// (Lo = 0 covers exactly zero).
+type HistBucket struct {
+	Lo    int64 `json:"lo"`
+	Count int64 `json:"count"`
+}
+
+// Hist is the exported form of a histogram.
+type Hist struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Mean    float64      `json:"mean,omitempty"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// export renders h; merge folds additional histograms in first.
+func exportHist(hs ...*hist) Hist {
+	var out Hist
+	var buckets [65]int64
+	for _, h := range hs {
+		out.Count += h.count.Load()
+		out.Sum += h.sum.Load()
+		for i := range h.buckets {
+			buckets[i] += h.buckets[i].Load()
+		}
+	}
+	if out.Count > 0 {
+		out.Mean = float64(out.Sum) / float64(out.Count)
+	}
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = int64(1) << (i - 1)
+		}
+		out.Buckets = append(out.Buckets, HistBucket{Lo: lo, Count: c})
+	}
+	return out
+}
+
+// Summary is the aggregate view of a traced run: per-kind event counts
+// and the three headline distributions of the paper's evaluation —
+// fault service latency, diff size, and protocol messages per barrier
+// interval (per processor). It marshals to JSON for the cashmere-bench
+// results file.
+type Summary struct {
+	// Events counts recorded events by kind name; zero kinds are
+	// omitted.
+	Events map[string]int64 `json:"events,omitempty"`
+
+	// Dropped is the number of events lost to ring wraparound (the
+	// summaries above are exact regardless).
+	Dropped uint64 `json:"dropped,omitempty"`
+
+	// FaultLatencyNS is the distribution of read/write fault service
+	// times in virtual nanoseconds (EvReadFault/EvWriteFault spans).
+	FaultLatencyNS Hist `json:"fault_latency_ns"`
+
+	// DiffWords is the distribution of outgoing and incoming diff sizes
+	// in changed words.
+	DiffWords Hist `json:"diff_words"`
+
+	// MsgsPerBarrier is the distribution, per processor, of protocol
+	// messages (write notices, directory updates, page fetch requests,
+	// synchronization writes) sent between consecutive barriers.
+	MsgsPerBarrier Hist `json:"msgs_per_barrier"`
+}
+
+// Summary aggregates the tracer's accumulators. It may be called at any
+// time, including while the run is still emitting.
+func (t *Tracer) Summary() Summary {
+	var s Summary
+	s.Events = make(map[string]int64)
+	var faults, diffs, msgs []*hist
+	all := append(append([]*Ring(nil), t.procs...), t.links...)
+	for _, r := range all {
+		for k := 0; k < NumKinds; k++ {
+			if n := r.counts[k].Load(); n != 0 {
+				s.Events[Kind(k).String()] += n
+			}
+		}
+		faults = append(faults, &r.faultNS)
+		diffs = append(diffs, &r.diffWords)
+		msgs = append(msgs, &r.msgsBar)
+	}
+	if len(s.Events) == 0 {
+		s.Events = nil
+	}
+	s.Dropped = t.Dropped()
+	s.FaultLatencyNS = exportHist(faults...)
+	s.DiffWords = exportHist(diffs...)
+	s.MsgsPerBarrier = exportHist(msgs...)
+	return s
+}

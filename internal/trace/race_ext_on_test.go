@@ -1,0 +1,9 @@
+//go:build race
+
+package trace_test
+
+// raceEnabled reports that this binary was built with the race
+// detector; the golden test skips there because the detector's timing
+// perturbation flips the simulator's host-order virtual-time tie-breaks
+// (see internal/bench/determinism_test.go).
+const raceEnabled = true

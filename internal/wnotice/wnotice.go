@@ -16,6 +16,18 @@
 // The same bitmap+queue structure serves the no-longer-exclusive (NLE)
 // lists, which record pages a processor must start flushing because
 // another node broke them out of exclusive mode.
+//
+// # Concurrency
+//
+// Global is safe for concurrent use by any mix of posters and a
+// drainer: each bin has its own mutex, Post(b, ...) contends only with
+// drains, and the single-writer-per-bin discipline means two Posts to
+// one bin never race at the protocol level. PerProc (and the NLE lists
+// built on it) is also internally locked, but its intended sharing is
+// narrower: remote processors Post under the owning node's big lock,
+// and only the owning processor Flushes. Locked (the global-lock
+// ablation's list) serializes every operation behind one sim.VLock and
+// additionally models the lock's virtual-time cost.
 package wnotice
 
 import (
