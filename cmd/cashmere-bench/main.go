@@ -7,6 +7,7 @@
 //	cashmere-bench -table 3       # one table (1, 2, 3, or "costs")
 //	cashmere-bench -figure 7      # one figure (6 or 7)
 //	cashmere-bench -ablation shootdown|lockfree
+//	cashmere-bench -scaling 128:4  # scale-out sweep, 1-32 nodes at 4 procs/node
 //	cashmere-bench -quick -all    # tiny problem sizes (seconds)
 //	cashmere-bench -all -j 8      # eight experiment cells in parallel
 //	cashmere-bench -all -json out.json -timeout 2m
@@ -45,6 +46,7 @@ func main() {
 		table    = flag.String("table", "", `table to regenerate: "1", "2", "3", or "costs"`)
 		figure   = flag.String("figure", "", `figure to regenerate: "6" or "7"`)
 		ablation = flag.String("ablation", "", `ablation to run: "shootdown" or "lockfree"`)
+		scaling  = flag.String("scaling", "", `scale-out sweep up to this topology ("procs:procsPerNode", e.g. 128:4 sweeps 1-32 nodes)`)
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "experiment cells to execute in parallel")
 		jsonPath = flag.String("json", "", "write machine-readable per-cell results to this file")
 		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock timeout (0 = none)")
@@ -84,7 +86,15 @@ func main() {
 				exit(2)
 			}
 		}
-		s.SetTrace(*traceCel, pages)
+		// Validate the cell label and normalize its topology through the
+		// shared grammar, so "-trace-cell SOR/2L/32:4" and every other
+		// topology-bearing flag reject bad input with the same message.
+		label, _, err := bench.ParseCell(*traceCel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-bench: -trace-cell:", err)
+			exit(2)
+		}
+		s.SetTrace(label, pages)
 	}
 
 	w := os.Stdout
@@ -141,6 +151,17 @@ func main() {
 	}
 	if *all || *ablation == "lockfree" {
 		fail(s.AblationLockFree(w))
+		sep()
+		ran = true
+	}
+	if *scaling != "" {
+		top, err := bench.ParseTopology(*scaling)
+		if err != nil {
+			s.Close()
+			fmt.Fprintln(os.Stderr, "cashmere-bench: -scaling:", err)
+			exit(2)
+		}
+		fail(s.Scaling(w, top))
 		sep()
 		ran = true
 	}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	cashmere-run -app Gauss -protocol 2L -nodes 8 -ppn 4
+//	cashmere-run -app SOR -topology 128:4 -fabric switched  # beyond the paper's 8x4
 //	cashmere-run -app Barnes -protocol 1LD -homeopt -quick
 //	cashmere-run -app SOR -quick -trace sor.json        # Perfetto trace
 //	cashmere-run -app SOR -quick -trace-timeline - -trace-pages 0,3
@@ -25,6 +26,7 @@ import (
 	"cashmere/internal/apps"
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
+	"cashmere/internal/topology"
 	"cashmere/internal/trace"
 )
 
@@ -46,8 +48,10 @@ func main() {
 	var (
 		appName    = flag.String("app", "SOR", "application: SOR, LU, Water, TSP, Gauss, Ilink, Em3d, Barnes")
 		protoName  = flag.String("protocol", "2L", "protocol: 2L, 2LS, 1LD, 1L")
-		nodes      = flag.Int("nodes", 8, "SMP nodes (max 8)")
+		nodes      = flag.Int("nodes", 8, "SMP nodes")
 		ppn        = flag.Int("ppn", 4, "processors per node")
+		topoFlag   = flag.String("topology", "", `cluster topology as "procs:procsPerNode", e.g. 128:4 (overrides -nodes/-ppn)`)
+		fabric     = flag.String("fabric", "serial", `interconnect fabric: "serial" (the paper's hub) or "switched" (crossbar)`)
 		homeOpt    = flag.Bool("homeopt", false, "home-node optimization (one-level protocols)")
 		lockBased  = flag.Bool("lockbased", false, "lock-based protocol metadata (Section 3.3.5 ablation)")
 		interrupts = flag.Bool("interrupts", false, "interrupt-based messaging instead of polling")
@@ -63,6 +67,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cashmere-run: unknown protocol %q\n", *protoName)
 		os.Exit(2)
 	}
+	spec := topology.New(*nodes, *ppn)
+	if *topoFlag != "" {
+		var err error
+		spec, err = topology.Parse(*topoFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run: -topology:", err)
+			os.Exit(2)
+		}
+		*nodes, *ppn = spec.Nodes, spec.ProcsPerNode
+	}
+	fab, err := costs.ParseFabric(*fabric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run: -fabric:", err)
+		os.Exit(2)
+	}
+	spec.Interconnect.Fabric = fab
 	set := apps.All()
 	if *quick {
 		set = apps.Small()
@@ -79,8 +99,7 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Nodes:         *nodes,
-		ProcsPerNode:  *ppn,
+		Topology:      spec,
 		Protocol:      kind,
 		HomeOpt:       *homeOpt,
 		LockBasedMeta: *lockBased,

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cashmere/internal/core"
+	"cashmere/internal/stats"
+	"cashmere/internal/topology"
+)
+
+// Topology-string parsing shared by every flag that names a
+// configuration (-topology, -trace-cell, -scaling): one grammar, one
+// error message (see topology.Grammar).
+
+// ParseTopology parses the paper's "procs:procsPerNode" notation into a
+// Topology, through the shared grammar of internal/topology.
+func ParseTopology(s string) (Topology, error) {
+	spec, err := topology.Parse(s)
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{Nodes: spec.Nodes, PPN: spec.ProcsPerNode}, nil
+}
+
+// ParseCell parses an experiment-cell label of the form
+// "app/variant/topology" (e.g. "SOR/2L/32:4"), validating the topology
+// portion against the shared grammar. The returned label is the
+// canonical rendering, suitable for Suite.SetTrace.
+func ParseCell(cell string) (label string, topo Topology, err error) {
+	parts := strings.Split(cell, "/")
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" {
+		return "", Topology{}, fmt.Errorf(`bench: cell %q is not "app/variant/topology" (topology is %s)`,
+			cell, topology.Grammar)
+	}
+	topo, err = ParseTopology(parts[2])
+	if err != nil {
+		return "", Topology{}, fmt.Errorf("bench: cell %q: %w", cell, err)
+	}
+	return parts[0] + "/" + parts[1] + "/" + topo.Label(), topo, nil
+}
+
+// ScalingVariants are the protocol columns of the scaling sweep: the
+// two-level protocol and the one-level diff protocol, whose per-proc
+// protocol nodes exercise the wide directory layout past 62 processors.
+var ScalingVariants = []Variant{
+	{Kind: core.TwoLevel},
+	{Kind: core.OneLevelDiff},
+}
+
+// ScalingSeries returns the node counts of a scaling sweep: doubling
+// from 1 up to and including maxNodes (with maxNodes itself always the
+// last point).
+func ScalingSeries(maxNodes int) []int {
+	var series []int
+	for n := 1; n < maxNodes; n *= 2 {
+		series = append(series, n)
+	}
+	return append(series, maxNodes)
+}
+
+// messages returns the protocol message count the scaling sweep tracks:
+// page transfers, write notices, directory updates, and lock/flag
+// acquires (each acquire is a request/grant message exchange). Under
+// the two-level protocol this total grows monotonically with the node
+// count for every application.
+func messages(res core.Result) int64 {
+	t := res.Total
+	return t.Counts[stats.PageTransfers] +
+		t.Counts[stats.WriteNotices] +
+		t.Counts[stats.DirectoryUpdates] +
+		t.Counts[stats.LockAcquires]
+}
+
+// Scaling writes the scale-out sweep: speedup and protocol message
+// counts per application and protocol as the node count doubles from 1
+// to top.Nodes at top.PPN processors per node. Configurations past the
+// paper's 8x4 run with wide directory words and barrier costs
+// extrapolated along the measured slope, so the absolute numbers beyond
+// 32 processors are a model extrapolation, not a platform measurement.
+func (s *Suite) Scaling(w io.Writer, top Topology) error {
+	series := ScalingSeries(top.Nodes)
+	topos := make([]Topology, len(series))
+	for i, n := range series {
+		topos[i] = Topology{Nodes: n, PPN: top.PPN}
+	}
+	s.Prefetch(ScalingVariants, topos)
+
+	line(w, "Scaling sweep: 1-%d nodes at %d procs/node (speedup | messages: transfers+notices+dir updates+acquires)",
+		top.Nodes, top.PPN)
+	for _, name := range AppNames() {
+		line(w, "")
+		line(w, "--- %s ---", name)
+		header := pad("config", 8)
+		for _, v := range ScalingVariants {
+			header += pad(v.Label()+" sp", 10) + pad(v.Label()+" msgs", 12)
+		}
+		line(w, "%s", header)
+		for _, topo := range topos {
+			out := pad(topo.Label(), 8)
+			for _, v := range ScalingVariants {
+				res, err := s.Run(name, v, topo)
+				if err != nil {
+					out += pad("FAIL", 10) + pad("-", 12)
+					continue
+				}
+				sp, err := s.Speedup(name, v, topo)
+				if err != nil {
+					sp = 0
+				}
+				out += pad(fmtSp(sp), 10) + pad(kcount(messages(res)), 12)
+			}
+			line(w, "%s", out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology("32:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo != (Topology{Nodes: 8, PPN: 4}) {
+		t.Errorf("ParseTopology(32:4) = %+v", topo)
+	}
+	if topo.Label() != "32:4" {
+		t.Errorf("label roundtrip = %q", topo.Label())
+	}
+	// Malformed input carries the shared grammar message.
+	if _, err := ParseTopology("8x4"); err == nil ||
+		!strings.Contains(err.Error(), "procs:procsPerNode") {
+		t.Errorf("ParseTopology(8x4) error %v does not quote the grammar", err)
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	label, topo, err := ParseCell("SOR/2L/32:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "SOR/2L/32:4" || topo != (Topology{Nodes: 8, PPN: 4}) {
+		t.Errorf("ParseCell = %q, %+v", label, topo)
+	}
+	for _, in := range []string{"", "SOR", "SOR/2L", "SOR/2L/8x4", "//32:4", "SOR/2L/32:4/extra"} {
+		if _, _, err := ParseCell(in); err == nil {
+			t.Errorf("ParseCell(%q) did not fail", in)
+		} else if !strings.Contains(err.Error(), "procs:procsPerNode") {
+			t.Errorf("ParseCell(%q) error %q does not quote the grammar", in, err)
+		}
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{8, []int{1, 2, 4, 8}},
+		{32, []int{1, 2, 4, 8, 16, 32}},
+		{12, []int{1, 2, 4, 8, 12}}, // non-power-of-two endpoint kept
+	}
+	for _, c := range cases {
+		if got := ScalingSeries(c.max); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ScalingSeries(%d) = %v, want %v", c.max, got, c.want)
+		}
+	}
+}
+
+func TestScalingSweepSmoke(t *testing.T) {
+	// A tiny sweep (1-4 nodes at 2 procs/node, quick sizes) must render
+	// every cell without failures, including a beyond-paper row once the
+	// endpoint exceeds 8 nodes elsewhere; here it validates the renderer
+	// end to end.
+	s := NewSuite(true)
+	var buf strings.Builder
+	if err := s.Scaling(&buf, Topology{Nodes: 4, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Scaling sweep", "2:2", "4:2", "8:2", "SOR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("sweep contains failed cells:\n%s", out)
+	}
+	if fails := s.FailedCells(); len(fails) > 0 {
+		t.Errorf("failed cells: %v", fails)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"cashmere/internal/msync"
 	"cashmere/internal/sim"
 	"cashmere/internal/stats"
+	"cashmere/internal/topology"
 	"cashmere/internal/trace"
 	"cashmere/internal/vm"
 	"cashmere/internal/wnotice"
@@ -82,6 +83,20 @@ type Config struct {
 	Nodes        int
 	ProcsPerNode int
 
+	// Topology, when non-zero, is the canonical cluster description: it
+	// supplies Nodes, ProcsPerNode, and SuperpagePages, and its
+	// interconnect parameters are folded into Model. The flat fields
+	// above remain for callers that only need a shape; fill normalizes
+	// the two views so Config() always returns a populated Topology.
+	Topology topology.Spec
+
+	// DirectoryLayout selects the directory word layout.
+	// directory.LayoutAuto (the default) derives it from the topology:
+	// the paper's packed 32-bit layout whenever every processor id fits
+	// its 6-bit fields, the wide layout otherwise. Forcing LayoutPacked
+	// on a larger topology is a construction-time error.
+	DirectoryLayout directory.LayoutKind
+
 	// Protocol selects the coherence protocol.
 	Protocol Kind
 
@@ -131,11 +146,19 @@ type Config struct {
 }
 
 func (c *Config) fill() error {
+	topoSet := c.Topology != (topology.Spec{})
+	if topoSet {
+		if err := c.Topology.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		c.Nodes = c.Topology.Nodes
+		c.ProcsPerNode = c.Topology.ProcsPerNode
+		if c.SuperpagePages == 0 {
+			c.SuperpagePages = c.Topology.SuperpagePages
+		}
+	}
 	if c.Nodes <= 0 || c.ProcsPerNode <= 0 {
 		return fmt.Errorf("core: need positive Nodes and ProcsPerNode, got %d:%d", c.Nodes, c.ProcsPerNode)
-	}
-	if c.Nodes > 8 {
-		return fmt.Errorf("core: the directory word layout supports at most 8 nodes, got %d", c.Nodes)
 	}
 	if c.PageWords == 0 {
 		c.PageWords = 1024
@@ -153,6 +176,14 @@ func (c *Config) fill() error {
 		m := costs.Default()
 		c.Model = &m
 	}
+	if topoSet {
+		m := c.Topology.ApplyModel(*c.Model)
+		c.Model = &m
+	}
+	// Normalize: the Topology view always reflects the final shape.
+	c.Topology.Nodes = c.Nodes
+	c.Topology.ProcsPerNode = c.ProcsPerNode
+	c.Topology.SuperpagePages = c.SuperpagePages
 	return nil
 }
 
@@ -236,7 +267,8 @@ type Cluster struct {
 	model *costs.Model
 	net   *memchan.Network
 	dir   *directory.Global
-	tr    *trace.Tracer // nil when tracing is disabled
+	lay   directory.Layout // word layout, derived from the topology
+	tr    *trace.Tracer    // nil when tracing is disabled
 
 	pages      int
 	superpages int
@@ -313,12 +345,22 @@ func New(cfg Config) (*Cluster, error) {
 	c.net = memchan.New(cfg.Nodes, *c.model)
 	c.net.SetTracer(c.tr)
 
+	// The directory's processor fields hold global processor ids, so the
+	// layout is sized for the largest one. Oversized topologies surface
+	// here as a construction error naming the violated limit, not as a
+	// panic deep in an encode path mid-run.
+	lay, err := directory.ChooseLayout(cfg.DirectoryLayout, total-1)
+	if err != nil {
+		return nil, fmt.Errorf("core: topology %s (%d processors): %w", cfg.Topology, total, err)
+	}
+	c.lay = lay
+
 	protoNodes := cfg.Nodes
 	if !cfg.Protocol.TwoLevelFamily() {
 		protoNodes = cfg.Nodes * cfg.ProcsPerNode
 	}
 	physOf := func(pn int) int { return c.physOfProto(pn) }
-	c.dir = directory.NewGlobal(c.net, c.pages, protoNodes, physOf, cfg.LockBasedMeta)
+	c.dir = directory.NewGlobal(c.net, lay, c.pages, protoNodes, physOf, cfg.LockBasedMeta)
 
 	c.masters = make([][]int64, c.pages)
 	for p := range c.masters {

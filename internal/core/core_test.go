@@ -25,8 +25,13 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Nodes: 0, ProcsPerNode: 1, SharedWords: 10}); err == nil {
 		t.Error("zero nodes accepted")
 	}
-	if _, err := New(Config{Nodes: 9, ProcsPerNode: 1, SharedWords: 10}); err == nil {
-		t.Error("nine nodes accepted (directory supports 8)")
+	// Clusters beyond the paper's 8 nodes are legal now that the
+	// directory layout is derived from the topology.
+	if _, err := New(Config{Nodes: 9, ProcsPerNode: 1, SharedWords: 10}); err != nil {
+		t.Errorf("nine nodes rejected: %v", err)
+	}
+	if _, err := New(Config{Nodes: 32, ProcsPerNode: 4, SharedWords: 10}); err != nil {
+		t.Errorf("128-proc cluster rejected: %v", err)
 	}
 	if _, err := New(Config{Nodes: 2, ProcsPerNode: 2, SharedWords: 0}); err == nil {
 		t.Error("zero shared words accepted")

@@ -60,13 +60,13 @@ func (p *Proc) breakExclusive(page, holderNode, holderProc int) {
 	defer x.mu.Unlock()
 
 	word := c.dir.Load(holderNode, page, holderNode)
-	if _, still := word.Excl(); !still {
+	if _, still := c.lay.Excl(word); !still {
 		return // someone else already broke it
 	}
 
 	framePtr := x.frames[page].p.Load()
 	if framePtr == nil {
-		c.storeDirWord(p, holderNode, page, word.ClearExcl())
+		c.storeDirWord(p, holderNode, page, c.lay.ClearExcl(word))
 		return
 	}
 	frame := *framePtr
@@ -118,12 +118,9 @@ func (p *Proc) breakExclusive(page, holderNode, holderProc int) {
 	}
 
 	p.st.Inc(stats.ExclTransitions)
-	w := directory.Word(0).WithPerm(x.vm.Loosest(page))
 	_, hproc := c.homeOf(page)
-	w = w.WithHome(hproc)
-	if _, _, done := decodeHome(c.homes[c.superOf(page)].Load()); done {
-		w = w.WithFirstTouched()
-	}
+	_, _, done := decodeHome(c.homes[c.superOf(page)].Load())
+	w := c.lay.Make(x.vm.Loosest(page), -1, hproc, done)
 	_ = homeProto
 	c.storeDirWord(p, holderNode, page, w)
 }

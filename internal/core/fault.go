@@ -57,7 +57,7 @@ func (p *Proc) doReadFault(page int) {
 		p.chargeProtocol(p.c.model.MProtect)
 		if wasInvalid {
 			excl := -1
-			if e, ok := p.ownWord(page).Excl(); ok {
+			if e, ok := p.c.lay.Excl(p.ownWord(page)); ok {
 				excl = e
 			}
 			p.publishOwnWord(page, excl)
@@ -102,7 +102,7 @@ func (p *Proc) doWriteFault(page int) {
 		}
 
 		own := p.ownWord(page)
-		_, alreadyExcl := own.Excl()
+		_, alreadyExcl := p.c.lay.Excl(own)
 
 		switch {
 		case alreadyExcl:
@@ -192,7 +192,7 @@ func (p *Proc) ensureCurrentLocked(page int) bool {
 			// Preserve any data the private frame holds that the
 			// master lacks before adopting the master copy.
 			if f != nil {
-				if _, excl := p.ownWord(page).Excl(); excl {
+				if _, excl := p.c.lay.Excl(p.ownWord(page)); excl {
 					p.trace(page, "alias: flushing exclusive frame")
 					diff.Copy(c.masters[page], *f)
 				} else if tw := n.twins[page]; tw != nil {

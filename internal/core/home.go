@@ -17,9 +17,13 @@ import (
 // that lock: they always follow the initial access in time.
 
 // homeState packs a superpage's home assignment for lock-free reads:
-// protocol node, home processor id, and the first-touch-done bit.
+// protocol node, home processor id, and the first-touch-done bit. The
+// processor field is 31 bits wide so the packing never constrains the
+// cluster size before the directory layout does.
+const homeProcBits = 31
+
 func encodeHome(protoNode, proc int, done bool) int64 {
-	v := int64(protoNode)<<17 | int64(proc)<<1
+	v := int64(protoNode)<<(homeProcBits+1) | int64(proc)<<1
 	if done {
 		v |= 1
 	}
@@ -27,7 +31,7 @@ func encodeHome(protoNode, proc int, done bool) int64 {
 }
 
 func decodeHome(v int64) (protoNode, proc int, done bool) {
-	return int(v >> 17), int(v>>1) & 0xffff, v&1 != 0
+	return int(v >> (homeProcBits + 1)), int(v>>1) & (1<<homeProcBits - 1), v&1 != 0
 }
 
 // initHomes installs the round-robin defaults into the atomic table.
@@ -116,7 +120,7 @@ func (c *Cluster) migrateSuperpage(p *Proc, sp, oldProto int) {
 		old.vm.Bump() // invalidate cached translations to the master alias
 		old.meta[page] = pageMeta{}
 		// The old home's directory word no longer claims a mapping.
-		w := c.dir.Load(oldProto, page, oldProto).WithPerm(directory.Invalid).ClearExcl()
+		w := c.lay.ClearExcl(c.lay.WithPerm(c.dir.Load(oldProto, page, oldProto), directory.Invalid))
 		c.storeDirWord(p, oldProto, page, w)
 	}
 	old.mu.Unlock()
@@ -148,15 +152,9 @@ func (c *Cluster) storeDirWord(p *Proc, by, page int, w directory.Word) {
 // none).
 func (p *Proc) publishOwnWord(page int, excl int) {
 	n := p.n
-	w := directory.Word(0).WithPerm(n.vm.Loosest(page))
-	if excl >= 0 {
-		w = w.WithExcl(excl)
-	}
 	_, hproc := p.c.homeOf(page)
-	w = w.WithHome(hproc)
-	if _, _, done := decodeHome(p.c.homes[p.c.superOf(page)].Load()); done {
-		w = w.WithFirstTouched()
-	}
+	_, _, done := decodeHome(p.c.homes[p.c.superOf(page)].Load())
+	w := p.c.lay.Make(n.vm.Loosest(page), excl, hproc, done)
 	p.c.storeDirWord(p, n.id, page, w)
 }
 

@@ -320,11 +320,11 @@ func TestDirectoryWordsReflectProtocolState(t *testing.T) {
 		p.Barrier()
 		if p.ID() == 0 {
 			w := c.dir.Load(0, 0, 0)
-			if _, ok := w.Excl(); !ok {
+			if _, ok := c.lay.Excl(w); !ok {
 				t.Error("directory word missing exclusive holder")
 			}
-			if w.Perm() != directory.ReadWrite {
-				t.Errorf("directory perm = %v, want rw", w.Perm())
+			if c.lay.Perm(w) != directory.ReadWrite {
+				t.Errorf("directory perm = %v, want rw", c.lay.Perm(w))
 			}
 		}
 		p.Barrier()

@@ -210,7 +210,7 @@ func (p *Proc) flushPage(page int, releaseStart int64) {
 	n := p.n
 	meta := &n.meta[page]
 
-	if _, excl := p.ownWord(page).Excl(); excl {
+	if _, excl := p.c.lay.Excl(p.ownWord(page)); excl {
 		p.trace(page, "flush skipped: exclusive")
 		return // exclusive pages incur no coherence overhead
 	}
@@ -267,7 +267,7 @@ func (p *Proc) flushPage(page int, releaseStart int64) {
 		if x == n.id {
 			continue
 		}
-		if c.dir.Load(n.id, page, x).Perm() == directory.Invalid {
+		if c.lay.Perm(c.dir.Load(n.id, page, x)) == directory.Invalid {
 			continue
 		}
 		if c.nodes[x].frames[page].aliased.Load() {
@@ -343,7 +343,7 @@ func (p *Proc) acquireActions() {
 		if meta.updateTS >= meta.wnTS {
 			continue // already updated by another local processor
 		}
-		if _, excl := p.ownWord(page).Excl(); excl {
+		if _, excl := p.c.lay.Excl(p.ownWord(page)); excl {
 			continue
 		}
 		if p.table.Get(page) == directory.Invalid {

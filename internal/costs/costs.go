@@ -8,7 +8,51 @@
 // networks) can be explored by constructing a different Model.
 package costs
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
+
+// Fabric selects the interconnect's contention topology.
+type Fabric int
+
+const (
+	// FabricSerial is the paper's first-generation Memory Channel: a
+	// serial global interconnect (a bus), so bulk transfers from all
+	// nodes contend for one shared MCAggregateBandwidth cap. The zero
+	// value, i.e. the paper's platform.
+	FabricSerial Fabric = iota
+
+	// FabricSwitched models a switched (crossbar) interconnect in the
+	// style of later cluster networks: a transfer contends only for its
+	// source's MCLinkBandwidth, and the fabric imposes no shared
+	// aggregate cap, so total bandwidth scales with the node count.
+	FabricSwitched
+)
+
+// String returns a short name for the fabric.
+func (f Fabric) String() string {
+	switch f {
+	case FabricSerial:
+		return "serial"
+	case FabricSwitched:
+		return "switched"
+	default:
+		return "Fabric(" + string(rune('0'+int(f))) + ")"
+	}
+}
+
+// ParseFabric parses a fabric name as accepted by the command-line
+// surface: "serial" or "switched".
+func ParseFabric(s string) (Fabric, error) {
+	switch s {
+	case "serial":
+		return FabricSerial, nil
+	case "switched":
+		return FabricSwitched, nil
+	}
+	return 0, fmt.Errorf(`costs: unknown fabric %q (want "serial" or "switched")`, s)
+}
 
 // Model holds every cost parameter of the simulated platform. All durations
 // are in nanoseconds of simulated (virtual) time.
@@ -25,8 +69,14 @@ type Model struct {
 	// MCAggregateBandwidth is the peak aggregate Memory Channel
 	// bandwidth in bytes per second (about 60 MB/s). The Memory Channel
 	// is a serial global interconnect (a bus); transfers from all nodes
-	// contend for this.
+	// contend for this. Ignored by FabricSwitched, which has no shared
+	// cap.
 	MCAggregateBandwidth int64
+
+	// MCFabric selects the interconnect contention topology: the
+	// paper's serial hub (the zero value) or a switched crossbar whose
+	// aggregate bandwidth scales with the node count.
+	MCFabric Fabric
 
 	// NodeBusBandwidth is the shared memory-bus bandwidth of one SMP
 	// node in bytes per second. Capacity-miss traffic from all
@@ -226,7 +276,10 @@ func (m Model) PageTransfer(local, twoLevel bool) int64 {
 
 // Barrier returns the application barrier cost for n participating
 // processors, interpolating between the measured 2-processor and
-// 32-processor costs (Table 1).
+// 32-processor costs (Table 1). Beyond 32 processors — past the paper's
+// largest measured configuration — the cost extrapolates along the same
+// slope, so barriers keep growing with cluster size in scaling studies
+// instead of flattening at the 32-processor figure.
 func (m Model) Barrier(n int, twoLevel bool) int64 {
 	lo, hi := m.Barrier2Proc1L, m.Barrier32Proc1L
 	if twoLevel {
@@ -236,7 +289,7 @@ func (m Model) Barrier(n int, twoLevel bool) int64 {
 		return lo
 	}
 	if n >= 32 {
-		return hi
+		return hi + (hi-lo)*int64(n-32)/30
 	}
 	return lo + (hi-lo)*int64(n-2)/30
 }

@@ -130,11 +130,37 @@ func TestBarrierEndpoints(t *testing.T) {
 	if got := m.Barrier(2, false); got != m.Barrier2Proc1L {
 		t.Errorf("Barrier(2, 1L) = %d, want %d", got, m.Barrier2Proc1L)
 	}
-	if got := m.Barrier(64, false); got != m.Barrier32Proc1L {
-		t.Errorf("Barrier(64, 1L) clamps to 32-proc cost: got %d, want %d", got, m.Barrier32Proc1L)
-	}
 	if got := m.Barrier(1, true); got != m.Barrier2Proc2L {
 		t.Errorf("Barrier(1, 2L) clamps to 2-proc cost: got %d, want %d", got, m.Barrier2Proc2L)
+	}
+}
+
+func TestBarrierExtrapolatesPast32(t *testing.T) {
+	// Beyond the paper's largest measured configuration the cost keeps
+	// growing along the measured slope instead of flattening.
+	m := Default()
+	slope1L := m.Barrier32Proc1L - m.Barrier2Proc1L
+	if got, want := m.Barrier(62, false), m.Barrier32Proc1L+slope1L; got != want {
+		t.Errorf("Barrier(62, 1L) = %d, want %d", got, want)
+	}
+	if got := m.Barrier(128, true); got <= m.Barrier(64, true) {
+		t.Errorf("Barrier not growing past 32: Barrier(128)=%d <= Barrier(64)=%d",
+			got, m.Barrier(64, true))
+	}
+}
+
+func TestFabricNames(t *testing.T) {
+	if FabricSerial.String() != "serial" || FabricSwitched.String() != "switched" {
+		t.Error("fabric names wrong")
+	}
+	if f, err := ParseFabric("switched"); err != nil || f != FabricSwitched {
+		t.Errorf("ParseFabric(switched) = %v, %v", f, err)
+	}
+	if f, err := ParseFabric("serial"); err != nil || f != FabricSerial {
+		t.Errorf("ParseFabric(serial) = %v, %v", f, err)
+	}
+	if _, err := ParseFabric("mesh"); err == nil {
+		t.Error("ParseFabric accepted an unknown fabric")
 	}
 }
 

@@ -10,12 +10,24 @@
 // broadcast; because the directory region does not use loop-back, a
 // writer must manually "double" its write into its own replica.
 //
-// A word packs (paper layout, Section 2.3):
+// # Word layouts
+//
+// How a word packs its fields is described by a Layout, derived from the
+// cluster topology. The packed legacy layout is the paper's 32-bit
+// format (Section 2.3), bit-identical to the original platform's and the
+// fast default whenever every processor id fits its 6-bit fields:
 //
 //	bits 0-1   loosest permission for the page on that node
 //	bits 2-7   processor holding the page in exclusive mode, plus one
 //	bits 8-13  home processor, plus one (redundant across words)
 //	bit  14    home was assigned by first-touch (vs round-robin default)
+//
+// Clusters with more than 62 processors use the wide layout: the same
+// field order with processor fields widened to whatever the topology
+// needs (at least 7 bits), still within the one 64-bit word the
+// simulated region stores. Widening the word rather than adding words
+// per entry preserves the single-writer discipline unchanged: every
+// word still has exactly one writing node, whatever its width.
 //
 // The one-level protocols use the same machinery with one word per
 // processor, and the lock-based ablation (Section 3.3.5) serializes
@@ -35,6 +47,7 @@ package directory
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"cashmere/internal/memchan"
@@ -65,73 +78,205 @@ func (p Perm) String() string {
 	}
 }
 
-// Word is one node's packed 32-bit view of a page.
-type Word uint32
+// Word is one node's packed view of a page. Its field boundaries are
+// given by the Layout that encoded it; a Word is meaningless without
+// its Layout. Packed-layout words occupy the low 32 bits, matching the
+// paper's hardware format bit for bit.
+type Word uint64
 
 const (
-	permMask   = 0x3
-	exclShift  = 2
-	exclMask   = 0x3f << exclShift
-	homeShift  = 8
-	homeMask   = 0x3f << homeShift
-	touchedBit = 1 << 14
-	maxProc    = 62 // 6-bit field holds proc+1
+	permBits = 2
+	permMask = Word(1<<permBits - 1)
+
+	// packedProcBits is the paper's processor field width: 6 bits
+	// holding proc+1, so ids 0..62.
+	packedProcBits = 6
+
+	// wideMinProcBits keeps every wide layout distinguishable from the
+	// packed legacy layout: a topology small enough for 6-bit fields
+	// always uses the packed layout instead.
+	wideMinProcBits = 7
+
+	// maxProcBits bounds the wide layout so both processor fields and
+	// the first-touch bit stay inside the 63 low bits of the region's
+	// int64 word (2 + 2*30 + 1 = 63).
+	maxProcBits = 30
 )
 
+// LayoutKind selects how the directory word layout is chosen for a
+// topology.
+type LayoutKind int
+
+const (
+	// LayoutAuto derives the layout from the topology: the paper's
+	// packed 32-bit layout whenever every processor id fits its 6-bit
+	// fields, the wide layout otherwise. The default.
+	LayoutAuto LayoutKind = iota
+	// LayoutPacked forces the paper's packed layout; topologies whose
+	// processor ids exceed its bound are a construction-time error.
+	LayoutPacked
+	// LayoutWide forces the wide layout regardless of topology size
+	// (used to cross-check the two layouts on small runs).
+	LayoutWide
+)
+
+// String returns a short name for the layout kind.
+func (k LayoutKind) String() string {
+	switch k {
+	case LayoutAuto:
+		return "auto"
+	case LayoutPacked:
+		return "packed"
+	case LayoutWide:
+		return "wide"
+	default:
+		return fmt.Sprintf("LayoutKind(%d)", int(k))
+	}
+}
+
+// Layout describes how a Word packs its permission, exclusive-holder,
+// home, and first-touch fields. The zero value is not meaningful; use
+// Packed or ChooseLayout.
+type Layout struct {
+	procBits  uint
+	exclShift uint
+	homeShift uint
+	touched   Word
+	procMask  Word // in-field mask, unshifted
+}
+
+// Packed returns the paper's packed 32-bit layout: 6-bit processor
+// fields holding proc+1, the format of Section 2.3.
+func Packed() Layout { return layoutWithProcBits(packedProcBits) }
+
+func layoutWithProcBits(pb uint) Layout {
+	return Layout{
+		procBits:  pb,
+		exclShift: permBits,
+		homeShift: permBits + pb,
+		touched:   1 << (permBits + 2*pb),
+		procMask:  Word(1<<pb - 1),
+	}
+}
+
+// ChooseLayout returns the directory word layout for a cluster whose
+// largest processor id is maxProcID, honoring the kind. It fails when
+// the processor ids cannot be encoded — packed layouts hold ids up to
+// 62, wide layouts up to 2^30-2 — so misconfigured topologies surface
+// at construction instead of as a mid-run panic in an encode path.
+func ChooseLayout(kind LayoutKind, maxProcID int) (Layout, error) {
+	if maxProcID < 0 {
+		return Layout{}, fmt.Errorf("directory: negative processor id %d", maxProcID)
+	}
+	packed := Packed()
+	switch kind {
+	case LayoutAuto:
+		if maxProcID <= packed.MaxProc() {
+			return packed, nil
+		}
+	case LayoutPacked:
+		if maxProcID > packed.MaxProc() {
+			return Layout{}, fmt.Errorf("directory: packed word layout holds processor ids 0..%d, need %d",
+				packed.MaxProc(), maxProcID)
+		}
+		return packed, nil
+	case LayoutWide:
+		// fall through to the wide sizing below
+	default:
+		return Layout{}, fmt.Errorf("directory: unknown layout kind %d", int(kind))
+	}
+	pb := uint(bits.Len(uint(maxProcID + 1))) // field stores proc+1
+	if pb < wideMinProcBits {
+		pb = wideMinProcBits
+	}
+	if pb > maxProcBits {
+		return Layout{}, fmt.Errorf("directory: wide word layout holds processor ids 0..%d, need %d",
+			layoutWithProcBits(maxProcBits).MaxProc(), maxProcID)
+	}
+	return layoutWithProcBits(pb), nil
+}
+
+// MaxProc returns the largest processor id the layout's fields encode
+// (the fields hold proc+1, so one value is lost to "none").
+func (l Layout) MaxProc() int { return int(l.procMask) - 1 }
+
+// Wide reports whether l is a wide (non-paper) layout.
+func (l Layout) Wide() bool { return l.procBits != packedProcBits }
+
 // Perm returns the loosest permission any processor on the node holds.
-func (w Word) Perm() Perm { return Perm(w & permMask) }
+func (l Layout) Perm(w Word) Perm { return Perm(w & permMask) }
 
 // WithPerm returns w with the permission field set to p.
-func (w Word) WithPerm(p Perm) Word { return (w &^ permMask) | Word(p)&permMask }
+func (l Layout) WithPerm(w Word, p Perm) Word { return (w &^ permMask) | Word(p)&permMask }
 
 // Excl returns the processor holding the page exclusively on this node,
 // if any.
-func (w Word) Excl() (proc int, ok bool) {
-	v := int(w&exclMask) >> exclShift
+func (l Layout) Excl(w Word) (proc int, ok bool) {
+	v := int(w >> l.exclShift & l.procMask)
 	return v - 1, v != 0
 }
 
-// WithExcl returns w recording proc as the exclusive holder.
-func (w Word) WithExcl(proc int) Word {
-	if proc < 0 || proc > maxProc {
-		panic(fmt.Sprintf("directory: exclusive proc %d out of range", proc))
+// WithExcl returns w recording proc as the exclusive holder. Processor
+// ids are validated against the layout at cluster construction; an
+// out-of-range id here is a protocol bug and panics.
+func (l Layout) WithExcl(w Word, proc int) Word {
+	if proc < 0 || proc > l.MaxProc() {
+		panic(fmt.Sprintf("directory: exclusive proc %d out of layout range 0..%d", proc, l.MaxProc()))
 	}
-	return (w &^ exclMask) | Word(proc+1)<<exclShift
+	return (w &^ (l.procMask << l.exclShift)) | Word(proc+1)<<l.exclShift
 }
 
 // ClearExcl returns w with no exclusive holder.
-func (w Word) ClearExcl() Word { return w &^ exclMask }
+func (l Layout) ClearExcl(w Word) Word { return w &^ (l.procMask << l.exclShift) }
 
 // Home returns the home processor recorded in this word, if set.
-func (w Word) Home() (proc int, ok bool) {
-	v := int(w&homeMask) >> homeShift
+func (l Layout) Home(w Word) (proc int, ok bool) {
+	v := int(w >> l.homeShift & l.procMask)
 	return v - 1, v != 0
 }
 
-// WithHome returns w recording proc as the home processor.
-func (w Word) WithHome(proc int) Word {
-	if proc < 0 || proc > maxProc {
-		panic(fmt.Sprintf("directory: home proc %d out of range", proc))
+// WithHome returns w recording proc as the home processor. See WithExcl
+// for the range contract.
+func (l Layout) WithHome(w Word, proc int) Word {
+	if proc < 0 || proc > l.MaxProc() {
+		panic(fmt.Sprintf("directory: home proc %d out of layout range 0..%d", proc, l.MaxProc()))
 	}
-	return (w &^ homeMask) | Word(proc+1)<<homeShift
+	return (w &^ (l.procMask << l.homeShift)) | Word(proc+1)<<l.homeShift
 }
 
 // FirstTouched reports whether the home was assigned by the first-touch
 // heuristic rather than the round-robin default.
-func (w Word) FirstTouched() bool { return w&touchedBit != 0 }
+func (l Layout) FirstTouched(w Word) bool { return w&l.touched != 0 }
 
 // WithFirstTouched returns w with the first-touch bit set.
-func (w Word) WithFirstTouched() Word { return w | touchedBit }
+func (l Layout) WithFirstTouched(w Word) Word { return w | l.touched }
 
-// String renders the word for debugging.
-func (w Word) String() string {
-	s := w.Perm().String()
-	if p, ok := w.Excl(); ok {
+// Make assembles a word in one call: permission, exclusive holder
+// (negative for none), home processor (negative for none), and the
+// first-touch bit.
+func (l Layout) Make(p Perm, excl, home int, touched bool) Word {
+	w := l.WithPerm(0, p)
+	if excl >= 0 {
+		w = l.WithExcl(w, excl)
+	}
+	if home >= 0 {
+		w = l.WithHome(w, home)
+	}
+	if touched {
+		w = l.WithFirstTouched(w)
+	}
+	return w
+}
+
+// Format renders the word for debugging.
+func (l Layout) Format(w Word) string {
+	s := l.Perm(w).String()
+	if p, ok := l.Excl(w); ok {
 		s += fmt.Sprintf(" excl=%d", p)
 	}
-	if p, ok := w.Home(); ok {
+	if p, ok := l.Home(w); ok {
 		s += fmt.Sprintf(" home=%d", p)
-		if w.FirstTouched() {
+		if l.FirstTouched(w) {
 			s += "(ft)"
 		}
 	}
@@ -145,6 +290,7 @@ func (w Word) String() string {
 // processor is its own protocol node).
 type Global struct {
 	region     *memchan.Region
+	lay        Layout
 	pages      int
 	protoNodes int
 	physOf     func(int) int
@@ -153,12 +299,13 @@ type Global struct {
 }
 
 // NewGlobal creates a directory for pages pages and protoNodes protocol
-// nodes on the given network. When lockBased is true, updates must be
-// bracketed by Lock/Unlock on the page's global lock (the Section 3.3.5
-// ablation).
-func NewGlobal(net *memchan.Network, pages, protoNodes int, physOf func(int) int, lockBased bool) *Global {
+// nodes on the given network, with words encoded by lay. When lockBased
+// is true, updates must be bracketed by Lock/Unlock on the page's
+// global lock (the Section 3.3.5 ablation).
+func NewGlobal(net *memchan.Network, lay Layout, pages, protoNodes int, physOf func(int) int, lockBased bool) *Global {
 	g := &Global{
 		region:     net.NewRegion(pages*protoNodes, false),
+		lay:        lay,
 		pages:      pages,
 		protoNodes: protoNodes,
 		physOf:     physOf,
@@ -175,6 +322,9 @@ func (g *Global) Pages() int { return g.pages }
 
 // ProtoNodes returns the number of protocol nodes per entry.
 func (g *Global) ProtoNodes() int { return g.protoNodes }
+
+// Layout returns the word layout the directory's entries use.
+func (g *Global) Layout() Layout { return g.lay }
 
 // LockBased reports whether updates require the per-page global lock.
 func (g *Global) LockBased() bool { return g.lockBased }
@@ -220,7 +370,7 @@ func (g *Global) Sharers(reader, page, except int) int {
 		if node == except {
 			continue
 		}
-		if g.Load(reader, page, node).Perm() != Invalid {
+		if g.lay.Perm(g.Load(reader, page, node)) != Invalid {
 			n++
 		}
 	}
@@ -231,7 +381,7 @@ func (g *Global) Sharers(reader, page, except int) int {
 // protocol node and processor holding it, as seen from reader's replica.
 func (g *Global) ExclHolder(reader, page int) (node, proc int, ok bool) {
 	for n := 0; n < g.protoNodes; n++ {
-		if p, has := g.Load(reader, page, n).Excl(); has {
+		if p, has := g.lay.Excl(g.Load(reader, page, n)); has {
 			return n, p, true
 		}
 	}
@@ -247,7 +397,7 @@ func (g *Global) ExclHolder(reader, page int) (node, proc int, ok bool) {
 // one observer's replica for every word.
 func (g *Global) ExclHolderOwn(page int) (node, proc int, ok bool) {
 	for n := 0; n < g.protoNodes; n++ {
-		if p, has := g.Load(n, page, n).Excl(); has {
+		if p, has := g.lay.Excl(g.Load(n, page, n)); has {
 			return n, p, true
 		}
 	}
@@ -259,7 +409,7 @@ func (g *Global) ExclHolderOwn(page int) (node, proc int, ok bool) {
 // recorded.
 func (g *Global) Home(reader, page int) (proc int, ok bool) {
 	for n := 0; n < g.protoNodes; n++ {
-		if p, has := g.Load(reader, page, n).Home(); has {
+		if p, has := g.lay.Home(g.Load(reader, page, n)); has {
 			return p, true
 		}
 	}

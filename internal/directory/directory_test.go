@@ -10,98 +10,232 @@ import (
 )
 
 func TestWordPacking(t *testing.T) {
+	l := Packed()
 	var w Word
-	if w.Perm() != Invalid {
-		t.Errorf("zero word perm = %v", w.Perm())
+	if l.Perm(w) != Invalid {
+		t.Errorf("zero word perm = %v", l.Perm(w))
 	}
-	if _, ok := w.Excl(); ok {
+	if _, ok := l.Excl(w); ok {
 		t.Error("zero word has exclusive holder")
 	}
-	if _, ok := w.Home(); ok {
+	if _, ok := l.Home(w); ok {
 		t.Error("zero word has home")
 	}
-	if w.FirstTouched() {
+	if l.FirstTouched(w) {
 		t.Error("zero word first-touched")
 	}
 
-	w = w.WithPerm(ReadWrite).WithExcl(31).WithHome(17).WithFirstTouched()
-	if w.Perm() != ReadWrite {
-		t.Errorf("perm = %v, want rw", w.Perm())
+	w = l.WithFirstTouched(l.WithHome(l.WithExcl(l.WithPerm(w, ReadWrite), 31), 17))
+	if l.Perm(w) != ReadWrite {
+		t.Errorf("perm = %v, want rw", l.Perm(w))
 	}
-	if p, ok := w.Excl(); !ok || p != 31 {
+	if p, ok := l.Excl(w); !ok || p != 31 {
 		t.Errorf("excl = %d,%v want 31", p, ok)
 	}
-	if p, ok := w.Home(); !ok || p != 17 {
+	if p, ok := l.Home(w); !ok || p != 17 {
 		t.Errorf("home = %d,%v want 17", p, ok)
 	}
-	if !w.FirstTouched() {
+	if !l.FirstTouched(w) {
 		t.Error("first-touch bit lost")
 	}
 
-	w = w.ClearExcl().WithPerm(ReadOnly)
-	if _, ok := w.Excl(); ok {
+	w = l.WithPerm(l.ClearExcl(w), ReadOnly)
+	if _, ok := l.Excl(w); ok {
 		t.Error("ClearExcl did not clear")
 	}
-	if w.Perm() != ReadOnly {
-		t.Errorf("perm after update = %v", w.Perm())
+	if l.Perm(w) != ReadOnly {
+		t.Errorf("perm after update = %v", l.Perm(w))
 	}
-	if p, ok := w.Home(); !ok || p != 17 {
+	if p, ok := l.Home(w); !ok || p != 17 {
 		t.Error("home lost by unrelated updates")
 	}
 }
 
-func TestWordProcZeroIsValid(t *testing.T) {
-	w := Word(0).WithExcl(0).WithHome(0)
-	if p, ok := w.Excl(); !ok || p != 0 {
-		t.Errorf("excl proc 0 roundtrip = %d,%v", p, ok)
+func TestPackedLayoutMatchesPaperBits(t *testing.T) {
+	// The packed layout is the hardware format of Section 2.3: perm in
+	// bits 0-1, excl proc+1 in bits 2-7, home proc+1 in bits 8-13,
+	// first-touch in bit 14. Encodings must be numerically identical to
+	// that format (and to earlier revisions of this codebase, which used
+	// it directly), not merely round-trip.
+	l := Packed()
+	w := l.Make(ReadWrite, 31, 17, true)
+	want := Word(uint64(ReadWrite) | uint64(31+1)<<2 | uint64(17+1)<<8 | 1<<14)
+	if w != want {
+		t.Errorf("packed encoding = %#x, want %#x", uint64(w), uint64(want))
 	}
-	if p, ok := w.Home(); !ok || p != 0 {
-		t.Errorf("home proc 0 roundtrip = %d,%v", p, ok)
+	if w>>32 != 0 {
+		t.Errorf("packed word %#x overflows 32 bits", uint64(w))
+	}
+	if l.Wide() {
+		t.Error("Packed().Wide() = true")
+	}
+	if l.MaxProc() != 62 {
+		t.Errorf("Packed().MaxProc() = %d, want 62", l.MaxProc())
+	}
+}
+
+// layoutsUnderTest returns both layouts sized for the packed bound, so
+// every boundary case runs against each.
+func layoutsUnderTest(t *testing.T) map[string]Layout {
+	t.Helper()
+	wide, err := ChooseLayout(LayoutWide, 62)
+	if err != nil {
+		t.Fatalf("ChooseLayout(wide, 62): %v", err)
+	}
+	if !wide.Wide() {
+		t.Fatal("forced wide layout is not wide")
+	}
+	return map[string]Layout{"packed": Packed(), "wide": wide}
+}
+
+func TestWordFieldBoundaries(t *testing.T) {
+	// Round-trips at the field boundaries: proc 0 (the "none" encoding is
+	// proc+1, so 0 must still read back), the packed maximum 62, and every
+	// combination of home/excl/touched occupancy — in both layouts.
+	for name, l := range layoutsUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, proc := range []int{0, 1, 61, 62, l.MaxProc()} {
+				if proc > l.MaxProc() {
+					continue
+				}
+				w := l.WithExcl(0, proc)
+				if p, ok := l.Excl(w); !ok || p != proc {
+					t.Errorf("excl %d roundtrip = %d,%v", proc, p, ok)
+				}
+				if p, ok := l.Home(w); ok {
+					t.Errorf("excl %d leaked into home: %d", proc, p)
+				}
+				w = l.WithHome(0, proc)
+				if p, ok := l.Home(w); !ok || p != proc {
+					t.Errorf("home %d roundtrip = %d,%v", proc, p, ok)
+				}
+				if p, ok := l.Excl(w); ok {
+					t.Errorf("home %d leaked into excl: %d", proc, p)
+				}
+			}
+			// All occupancy combinations of (excl, home, touched).
+			for _, excl := range []int{-1, 0, l.MaxProc()} {
+				for _, home := range []int{-1, 0, l.MaxProc()} {
+					for _, ft := range []bool{false, true} {
+						w := l.Make(ReadOnly, excl, home, ft)
+						if l.Perm(w) != ReadOnly {
+							t.Errorf("perm lost at excl=%d home=%d ft=%v", excl, home, ft)
+						}
+						if p, ok := l.Excl(w); ok != (excl >= 0) || (ok && p != excl) {
+							t.Errorf("excl=%d home=%d ft=%v: Excl = %d,%v", excl, home, ft, p, ok)
+						}
+						if p, ok := l.Home(w); ok != (home >= 0) || (ok && p != home) {
+							t.Errorf("excl=%d home=%d ft=%v: Home = %d,%v", excl, home, ft, p, ok)
+						}
+						if l.FirstTouched(w) != ft {
+							t.Errorf("excl=%d home=%d ft=%v: FirstTouched = %v", excl, home, ft, !ft)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 
 func TestWordRangePanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { Word(0).WithExcl(63) },
-		func() { Word(0).WithExcl(-1) },
-		func() { Word(0).WithHome(63) },
-		func() { Word(0).WithHome(-1) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("out-of-range proc id did not panic")
-				}
+	// Proc 63 overflows the packed 6-bit field (it holds proc+1);
+	// every layout rejects MaxProc()+1 and negative ids.
+	for name, l := range layoutsUnderTest(t) {
+		over := l.MaxProc() + 1
+		for _, f := range []func(){
+			func() { l.WithExcl(0, over) },
+			func() { l.WithExcl(0, -1) },
+			func() { l.WithHome(0, over) },
+			func() { l.WithHome(0, -1) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: out-of-range proc id did not panic", name)
+					}
+				}()
+				f()
 			}()
-			f()
-		}()
+		}
+	}
+	if Packed().MaxProc()+1 != 63 {
+		t.Error("packed overflow boundary moved from 63")
+	}
+}
+
+func TestChooseLayout(t *testing.T) {
+	cases := []struct {
+		kind    LayoutKind
+		maxProc int
+		wide    bool
+		err     bool
+	}{
+		{LayoutAuto, 0, false, false},
+		{LayoutAuto, 62, false, false},
+		{LayoutAuto, 63, true, false},  // first id past the packed bound
+		{LayoutAuto, 511, true, false}, // 128 nodes x 4
+		{LayoutPacked, 62, false, false},
+		{LayoutPacked, 63, false, true},
+		{LayoutWide, 3, true, false},
+		{LayoutWide, 1 << 20, true, false},
+		{LayoutAuto, 1 << 62, false, true},
+		{LayoutAuto, -1, false, true},
+		{LayoutKind(42), 0, false, true},
+	}
+	for _, c := range cases {
+		l, err := ChooseLayout(c.kind, c.maxProc)
+		if (err != nil) != c.err {
+			t.Errorf("ChooseLayout(%v, %d) error = %v, want err=%v", c.kind, c.maxProc, err, c.err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if l.Wide() != c.wide {
+			t.Errorf("ChooseLayout(%v, %d).Wide() = %v, want %v", c.kind, c.maxProc, l.Wide(), c.wide)
+		}
+		if l.MaxProc() < c.maxProc {
+			t.Errorf("ChooseLayout(%v, %d).MaxProc() = %d, too small", c.kind, c.maxProc, l.MaxProc())
+		}
+		// The chosen layout must actually round-trip the largest id.
+		if p, ok := l.Excl(l.WithExcl(0, c.maxProc)); !ok || p != c.maxProc {
+			t.Errorf("ChooseLayout(%v, %d): max id does not roundtrip", c.kind, c.maxProc)
+		}
+	}
+	if _, err := ChooseLayout(LayoutPacked, 63); err == nil ||
+		!strings.Contains(err.Error(), "62") {
+		t.Error("packed overflow error does not name the 62-proc limit")
+	}
+	if LayoutAuto.String() != "auto" || LayoutPacked.String() != "packed" || LayoutWide.String() != "wide" {
+		t.Error("LayoutKind names wrong")
 	}
 }
 
 func TestWordRoundTripProperty(t *testing.T) {
-	f := func(perm uint8, excl, home uint8, ft bool) bool {
-		p := Perm(perm % 3)
-		e := int(excl) % 63
-		h := int(home) % 63
-		w := Word(0).WithPerm(p).WithExcl(e).WithHome(h)
-		if ft {
-			w = w.WithFirstTouched()
+	for name, l := range layoutsUnderTest(t) {
+		mod := l.MaxProc() + 1
+		f := func(perm uint8, excl, home uint16, ft bool) bool {
+			p := Perm(perm % 3)
+			e := int(excl) % mod
+			h := int(home) % mod
+			w := l.Make(p, e, h, ft)
+			ge, ok1 := l.Excl(w)
+			gh, ok2 := l.Home(w)
+			return l.Perm(w) == p && ok1 && ge == e && ok2 && gh == h && l.FirstTouched(w) == ft
 		}
-		ge, ok1 := w.Excl()
-		gh, ok2 := w.Home()
-		return w.Perm() == p && ok1 && ge == e && ok2 && gh == h && w.FirstTouched() == ft
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
 	}
 }
 
-func TestWordString(t *testing.T) {
-	w := Word(0).WithPerm(ReadWrite).WithExcl(3).WithHome(5).WithFirstTouched()
-	s := w.String()
+func TestWordFormat(t *testing.T) {
+	l := Packed()
+	w := l.Make(ReadWrite, 3, 5, true)
+	s := l.Format(w)
 	for _, want := range []string{"rw", "excl=3", "home=5", "(ft)"} {
 		if !strings.Contains(s, want) {
-			t.Errorf("String() = %q missing %q", s, want)
+			t.Errorf("Format() = %q missing %q", s, want)
 		}
 	}
 	if Invalid.String() != "inv" || ReadOnly.String() != "ro" {
@@ -114,13 +248,20 @@ func TestWordString(t *testing.T) {
 
 func ident(n int) int { return n }
 
+func newTestGlobal(net *memchan.Network, pages, protoNodes int, physOf func(int) int, lockBased bool) *Global {
+	return NewGlobal(net, Packed(), pages, protoNodes, physOf, lockBased)
+}
+
 func TestGlobalStoreLoad(t *testing.T) {
 	net := memchan.New(4, costs.Default())
-	g := NewGlobal(net, 10, 4, ident, false)
+	g := newTestGlobal(net, 10, 4, ident, false)
 	if g.Pages() != 10 || g.ProtoNodes() != 4 {
 		t.Errorf("dims = %d,%d", g.Pages(), g.ProtoNodes())
 	}
-	w := Word(0).WithPerm(ReadWrite).WithHome(2)
+	if g.Layout() != Packed() {
+		t.Error("Layout() does not report the constructor's layout")
+	}
+	w := g.Layout().Make(ReadWrite, -1, 2, false)
 	done := g.Store(1, 7, w, 1000)
 	if done <= 1000 {
 		t.Errorf("Store globally performed at %d", done)
@@ -142,9 +283,10 @@ func TestGlobalStoreLoad(t *testing.T) {
 
 func TestGlobalSharers(t *testing.T) {
 	net := memchan.New(4, costs.Default())
-	g := NewGlobal(net, 4, 4, ident, false)
-	g.Store(0, 2, Word(0).WithPerm(ReadOnly), 0)
-	g.Store(3, 2, Word(0).WithPerm(ReadWrite), 0)
+	g := newTestGlobal(net, 4, 4, ident, false)
+	l := g.Layout()
+	g.Store(0, 2, l.WithPerm(0, ReadOnly), 0)
+	g.Store(3, 2, l.WithPerm(0, ReadWrite), 0)
 	if got := g.Sharers(1, 2, -1); got != 2 {
 		t.Errorf("Sharers(all) = %d, want 2", got)
 	}
@@ -161,11 +303,11 @@ func TestGlobalSharers(t *testing.T) {
 
 func TestGlobalExclHolder(t *testing.T) {
 	net := memchan.New(4, costs.Default())
-	g := NewGlobal(net, 4, 4, ident, false)
+	g := newTestGlobal(net, 4, 4, ident, false)
 	if _, _, ok := g.ExclHolder(0, 1); ok {
 		t.Error("found exclusive holder on empty directory")
 	}
-	g.Store(2, 1, Word(0).WithPerm(ReadWrite).WithExcl(9), 0)
+	g.Store(2, 1, g.Layout().Make(ReadWrite, 9, -1, false), 0)
 	node, proc, ok := g.ExclHolder(0, 1)
 	if !ok || node != 2 || proc != 9 {
 		t.Errorf("ExclHolder = %d,%d,%v want 2,9,true", node, proc, ok)
@@ -174,19 +316,19 @@ func TestGlobalExclHolder(t *testing.T) {
 
 func TestGlobalExclHolderOwn(t *testing.T) {
 	net := memchan.New(4, costs.Default())
-	g := NewGlobal(net, 4, 4, ident, false)
+	g := newTestGlobal(net, 4, 4, ident, false)
 	if _, _, ok := g.ExclHolderOwn(1); ok {
 		t.Error("found exclusive holder on empty directory")
 	}
 	// A normal Store is seen by both scans.
-	g.Store(2, 1, Word(0).WithPerm(ReadWrite).WithExcl(9), 0)
+	g.Store(2, 1, g.Layout().Make(ReadWrite, 9, -1, false), 0)
 	if node, proc, ok := g.ExclHolderOwn(1); !ok || node != 2 || proc != 9 {
 		t.Errorf("ExclHolderOwn = %d,%d,%v want 2,9,true", node, proc, ok)
 	}
 	// A word whose broadcast was not delivered — present only in the
 	// owner's doubled replica — is found by the owner-replica scan but
 	// invisible to an observer scanning replica 0.
-	w := Word(0).WithPerm(ReadWrite).WithExcl(13)
+	w := g.Layout().Make(ReadWrite, 13, -1, false)
 	g.region.Poke(3, g.off(2, 3), int64(w))
 	if node, proc, ok := g.ExclHolderOwn(2); !ok || node != 3 || proc != 13 {
 		t.Errorf("ExclHolderOwn(undelivered) = %d,%d,%v want 3,13,true", node, proc, ok)
@@ -198,11 +340,11 @@ func TestGlobalExclHolderOwn(t *testing.T) {
 
 func TestGlobalHome(t *testing.T) {
 	net := memchan.New(4, costs.Default())
-	g := NewGlobal(net, 4, 4, ident, false)
+	g := newTestGlobal(net, 4, 4, ident, false)
 	if _, ok := g.Home(0, 3); ok {
 		t.Error("found home on empty directory")
 	}
-	g.Store(1, 3, Word(0).WithHome(6), 0)
+	g.Store(1, 3, g.Layout().WithHome(0, 6), 0)
 	if p, ok := g.Home(2, 3); !ok || p != 6 {
 		t.Errorf("Home = %d,%v want 6,true", p, ok)
 	}
@@ -210,7 +352,7 @@ func TestGlobalHome(t *testing.T) {
 
 func TestGlobalLockBased(t *testing.T) {
 	net := memchan.New(2, costs.Default())
-	g := NewGlobal(net, 3, 2, ident, true)
+	g := newTestGlobal(net, 3, 2, ident, true)
 	if !g.LockBased() {
 		t.Error("LockBased() = false")
 	}
@@ -226,7 +368,7 @@ func TestGlobalLockBased(t *testing.T) {
 	}
 	l.Release(got)
 
-	gf := NewGlobal(net, 3, 2, ident, false)
+	gf := newTestGlobal(net, 3, 2, ident, false)
 	if gf.PageLock(0) != nil {
 		t.Error("lock-free directory returned a page lock")
 	}
@@ -237,12 +379,40 @@ func TestGlobalOneLevelMapping(t *testing.T) {
 	// nodes; reads must hit the reader's physical replica.
 	net := memchan.New(2, costs.Default())
 	physOf := func(proc int) int { return proc / 4 }
-	g := NewGlobal(net, 2, 8, physOf, false)
-	g.Store(5, 0, Word(0).WithPerm(ReadOnly), 0) // proc 5 lives on phys node 1
+	g := newTestGlobal(net, 2, 8, physOf, false)
+	g.Store(5, 0, g.Layout().WithPerm(0, ReadOnly), 0) // proc 5 lives on phys node 1
 	for reader := 0; reader < 8; reader++ {
-		if got := g.Load(reader, 0, 5); got.Perm() != ReadOnly {
+		if got := g.Load(reader, 0, 5); g.Layout().Perm(got) != ReadOnly {
 			t.Errorf("proc %d sees %v", reader, got)
 		}
+	}
+}
+
+func TestGlobalWideLayoutLargeCluster(t *testing.T) {
+	// A 128-node cluster of 4-way SMPs (511 = largest proc id) cannot use
+	// the packed layout; the wide words must survive the region's int64
+	// storage and round-trip through Store/Load.
+	lay, err := ChooseLayout(LayoutAuto, 511)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.Wide() {
+		t.Fatal("512-proc cluster chose the packed layout")
+	}
+	net := memchan.New(128, costs.Default())
+	g := NewGlobal(net, lay, 4, 128, ident, false)
+	w := lay.Make(ReadWrite, 511, 509, true)
+	g.Store(127, 3, w, 0)
+	got := g.Load(0, 3, 127)
+	if got != w {
+		t.Errorf("wide word load = %#x, want %#x", uint64(got), uint64(w))
+	}
+	if p, ok := lay.Excl(got); !ok || p != 511 {
+		t.Errorf("wide excl = %d,%v", p, ok)
+	}
+	node, proc, ok := g.ExclHolder(5, 3)
+	if !ok || node != 127 || proc != 511 {
+		t.Errorf("ExclHolder = %d,%d,%v", node, proc, ok)
 	}
 }
 

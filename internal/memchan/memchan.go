@@ -23,8 +23,13 @@
 //
 // Costs follow the paper's platform: 5.2 us process-to-process write
 // latency, 29 MB/s per-link (PCI-limited) bandwidth, and roughly 60 MB/s
-// aggregate through the hub — the Memory Channel is a serial global
-// interconnect, so bulk transfers from all nodes contend for it.
+// aggregate through the hub — the first-generation Memory Channel is a
+// serial global interconnect, so bulk transfers from all nodes contend
+// for it. The contention model is parameterized by costs.Model: the
+// per-link and aggregate bandwidths are Model fields, and
+// Model.MCFabric can replace the serial hub with a switched (crossbar)
+// fabric in which transfers contend only for their source's link and
+// aggregate bandwidth scales with the node count.
 //
 // # Concurrency
 //
@@ -50,14 +55,16 @@ import (
 type Network struct {
 	nodes int
 	model costs.Model
-	hub   *sim.Bus
+	hub   *sim.Bus // nil under a switched fabric (no shared cap)
 	links []*sim.Bus
 	moved atomic.Int64 // total bytes moved, for accounting and tests
 	tr    *trace.Tracer
 }
 
 // New creates a network connecting nodes nodes using the given timing
-// model.
+// model. Under the default serial fabric every transfer also occupies
+// the shared hub; under costs.FabricSwitched only the source's link
+// gates transfers.
 func New(nodes int, model costs.Model) *Network {
 	if nodes <= 0 {
 		panic("memchan: network needs at least one node")
@@ -65,7 +72,9 @@ func New(nodes int, model costs.Model) *Network {
 	n := &Network{
 		nodes: nodes,
 		model: model,
-		hub:   sim.NewBus(model.MCAggregateBandwidth),
+	}
+	if model.MCFabric == costs.FabricSerial {
+		n.hub = sim.NewBus(model.MCAggregateBandwidth)
 	}
 	n.links = make([]*sim.Bus, nodes)
 	for i := range n.links {
@@ -104,11 +113,11 @@ func (n *Network) Transfer(src int, nbytes int64, now int64) int64 {
 		return now + n.model.MCWriteLatency
 	}
 	n.moved.Add(nbytes)
-	linkDone := n.links[src].Use(now, nbytes)
-	hubDone := n.hub.Use(now, nbytes)
-	done := linkDone
-	if hubDone > done {
-		done = hubDone
+	done := n.links[src].Use(now, nbytes)
+	if n.hub != nil {
+		if hubDone := n.hub.Use(now, nbytes); hubDone > done {
+			done = hubDone
+		}
 	}
 	done += n.model.MCWriteLatency
 	if n.tr != nil {

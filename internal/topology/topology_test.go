@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"cashmere/internal/costs"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in         string
+		nodes, ppn int
+	}{
+		{"32:4", 8, 4},
+		{"8:1", 8, 1},
+		{"8:2", 4, 2},
+		{"1:1", 1, 1},
+		{"128:4", 32, 4},
+		{"248:62", 4, 62},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got.Nodes != c.nodes || got.ProcsPerNode != c.ppn {
+			t.Errorf("Parse(%q) = %d nodes x %d, want %d x %d",
+				c.in, got.Nodes, got.ProcsPerNode, c.nodes, c.ppn)
+		}
+		if got.String() != c.in {
+			t.Errorf("Parse(%q).String() = %q", c.in, got.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"", "32", "32:", ":4", "32:4:1", "a:4", "32:b",
+		"0:4", "32:0", "-32:4", "32:-4",
+		"31:4", // not a multiple
+		"8x4",  // wrong separator
+	} {
+		_, err := Parse(in)
+		if err == nil {
+			t.Errorf("Parse(%q) did not fail", in)
+			continue
+		}
+		// Every malformed string gets the one shared error quoting the
+		// grammar, not divergent ad-hoc messages.
+		if !strings.Contains(err.Error(), "procs:procsPerNode") {
+			t.Errorf("Parse(%q) error %q does not quote the grammar", in, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(8, 4).Validate(); err != nil {
+		t.Errorf("8x4 invalid: %v", err)
+	}
+	if err := (Spec{Nodes: 0, ProcsPerNode: 4}).Validate(); err == nil {
+		t.Error("0 nodes validated")
+	}
+	if err := (Spec{Nodes: 8, ProcsPerNode: 4, SuperpagePages: -1}).Validate(); err == nil {
+		t.Error("negative superpages validated")
+	}
+}
+
+func TestProcsAndLabel(t *testing.T) {
+	s := New(8, 4)
+	if s.Procs() != 32 {
+		t.Errorf("Procs = %d", s.Procs())
+	}
+	if s.String() != "32:4" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestApplyModel(t *testing.T) {
+	m := costs.Default()
+	// Zero interconnect: the paper's model, untouched.
+	got := New(8, 4).ApplyModel(m)
+	if got != m {
+		t.Error("zero interconnect changed the model")
+	}
+
+	s := New(32, 4)
+	s.Interconnect = Interconnect{
+		Fabric:             costs.FabricSwitched,
+		LinkBandwidth:      100 << 20,
+		AggregateBandwidth: 500 << 20,
+	}
+	got = s.ApplyModel(m)
+	if got.MCFabric != costs.FabricSwitched {
+		t.Errorf("fabric = %v", got.MCFabric)
+	}
+	if got.MCLinkBandwidth != 100<<20 || got.MCAggregateBandwidth != 500<<20 {
+		t.Errorf("bandwidths = %d/%d", got.MCLinkBandwidth, got.MCAggregateBandwidth)
+	}
+}
