@@ -12,6 +12,8 @@
 //	cashmere-bench -all -j 8      # eight experiment cells in parallel
 //	cashmere-bench -all -json out.json -timeout 2m
 //	cashmere-bench -table 3 -trace sor.json   # Perfetto trace of one cell
+//	cashmere-bench -all -http :6060          # live /metrics, /status, pprof
+//	cashmere-bench -table 3 -profile sor.txt  # hot-page report of one cell
 //
 // -trace records a structured event trace of one experiment cell
 // (chosen with -trace-cell, default SOR/2L/32:4) and writes it as
@@ -36,6 +38,7 @@ import (
 	"runtime/pprof"
 
 	"cashmere/internal/bench"
+	"cashmere/internal/metrics"
 	"cashmere/internal/trace"
 )
 
@@ -56,6 +59,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the -trace-cell run to this file")
 		traceCel = flag.String("trace-cell", "SOR/2L/32:4", "cell to trace, as app/variant/topology")
 		tracePgs = flag.String("trace-pages", "", "comma-separated page numbers for per-page trace notes")
+		httpAddr = flag.String("http", "", `serve live /metrics, /status, and pprof on this address (e.g. ":6060")`)
+		profOut  = flag.String("profile", "", `write the -trace-cell run's hot-page/hot-lock report to this file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -76,7 +81,18 @@ func main() {
 		sink = bench.NewJSONSink(*quick, *workers)
 		s.SetJSON(sink)
 	}
-	if *traceOut != "" {
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		s.SetMetrics(reg)
+		srv, err := reg.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-bench: -http:", err)
+			exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cashmere-bench: serving metrics on http://%s/\n", srv.Addr)
+		defer srv.Close()
+	}
+	if *traceOut != "" || *profOut != "" {
 		var pages map[int]bool
 		if *tracePgs != "" {
 			var err error
@@ -181,19 +197,35 @@ func main() {
 		fail(err)
 	}
 
-	if *traceOut != "" {
+	if *traceOut != "" || *profOut != "" {
 		tr := s.TraceResult()
 		if tr == nil {
-			fmt.Fprintf(os.Stderr, "cashmere-bench: -trace: cell %s was not executed by the selected sections\n", *traceCel)
+			fmt.Fprintf(os.Stderr, "cashmere-bench: -trace/-profile: cell %s was not executed by the selected sections\n", *traceCel)
 			exit(1)
 		}
-		f, err := os.Create(*traceOut)
-		fail(err)
-		err = trace.WriteChrome(f, tr, trace.ChromeOptions{})
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			fail(err)
+			err = trace.WriteChrome(f, tr, trace.ChromeOptions{})
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			fail(err)
 		}
-		fail(err)
+		if *profOut != "" {
+			prof := metrics.BuildProfile(tr, 20)
+			out := os.Stdout
+			if *profOut != "-" {
+				f, err := os.Create(*profOut)
+				fail(err)
+				out = f
+			}
+			fmt.Fprintf(out, "hot-page/hot-lock profile of %s\n\n", *traceCel)
+			fail(prof.WriteText(out))
+			if out != os.Stdout {
+				fail(out.Close())
+			}
+		}
 	}
 
 	if fails := s.FailedCells(); len(fails) > 0 {

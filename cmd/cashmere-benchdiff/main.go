@@ -1,0 +1,67 @@
+// Command cashmere-benchdiff compares two cashmere-bench -json results
+// files cell by cell and exits nonzero when the current file regresses
+// beyond tolerance against the baseline — the CI performance gate.
+//
+//	cashmere-benchdiff [-tol 0.05] [-count-tol 0.25] [-count-slack 64] \
+//	    [-cells '^(SOR|LU)/'] baseline.json current.json
+//
+// Virtual-time metrics (exec_ns, data_bytes, event counters) are
+// functions of the program and the cost model, not of the host, so a
+// committed baseline stays comparable across machines. The tolerances
+// absorb the residual host-order tie-breaks; -cells restricts the gate
+// to the deterministic barrier-phased applications when lock-based
+// cells are too noisy to gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cashmere/internal/bench"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0.05, "relative tolerance for exec_ns and data_bytes")
+	countTol := flag.Float64("count-tol", 0, "relative tolerance for event counters (default: -tol)")
+	countSlack := flag.Int64("count-slack", 0, "absolute counter difference always tolerated")
+	cells := flag.String("cells", "", "regexp restricting compared cells by app/variant/topology label")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: cashmere-benchdiff [flags] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := bench.LoadResults(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	current, err := bench.LoadResults(flag.Arg(1))
+	if err != nil {
+		fail("%v", err)
+	}
+
+	rep, err := bench.DiffResults(baseline, current, bench.DiffOptions{
+		RelTol:      *tol,
+		CountTol:    *countTol,
+		CountSlack:  *countSlack,
+		CellPattern: *cells,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	rep.WriteText(os.Stdout)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cashmere-benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -9,6 +9,8 @@
 //	cashmere-run -app Barnes -protocol 1LD -homeopt -quick
 //	cashmere-run -app SOR -quick -trace sor.json        # Perfetto trace
 //	cashmere-run -app SOR -quick -trace-timeline - -trace-pages 0,3
+//	cashmere-run -app SOR -profile -                    # hot-page report
+//	cashmere-run -app Water -http :6060                 # live /metrics
 //
 // -trace records a structured event trace of the run and writes it as
 // Chrome trace-event JSON, loadable at https://ui.perfetto.dev.
@@ -16,6 +18,12 @@
 // stdout), optionally restricted to the -trace-pages page numbers; it
 // is the structured successor of the CASHMERE_TRACE_PAGE environment
 // variable. See docs/TRACING.md.
+//
+// -profile writes the run's hot-page / hot-lock attribution report
+// ("-" for stdout): the top pages by protocol time with sharing-pattern
+// labels, contended locks and flags, and barrier latency. -http serves
+// live /metrics (Prometheus text format), /status, and net/http/pprof
+// while the run executes. See docs/METRICS.md.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"cashmere/internal/apps"
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
+	"cashmere/internal/metrics"
 	"cashmere/internal/topology"
 	"cashmere/internal/trace"
 )
@@ -59,6 +68,8 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
 		traceTL    = flag.String("trace-timeline", "", `write a per-page event timeline to this file ("-" for stdout)`)
 		tracePgs   = flag.String("trace-pages", "", "comma-separated page numbers to restrict tracing output to")
+		profOut    = flag.String("profile", "", `write a hot-page/hot-lock attribution report to this file ("-" for stdout)`)
+		httpAddr   = flag.String("http", "", `serve live /metrics, /status, and pprof on this address (e.g. ":6060")`)
 	)
 	flag.Parse()
 
@@ -106,7 +117,7 @@ func main() {
 		UseInterrupts: *interrupts,
 	}
 	var tr *trace.Tracer
-	if *traceOut != "" || *traceTL != "" {
+	if *traceOut != "" || *traceTL != "" || *profOut != "" {
 		var pages map[int]bool
 		if *tracePgs != "" {
 			var err error
@@ -119,7 +130,22 @@ func main() {
 		tr = trace.New(trace.Config{Procs: *nodes * *ppn, Links: *nodes, Pages: pages})
 		cfg.Trace = tr
 	}
+	var detach func()
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		cfg.Observer = func(c *core.Cluster) { detach = reg.Attach(c) }
+		srv, err := reg.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run: -http:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cashmere-run: serving metrics on http://%s/\n", srv.Addr)
+		defer srv.Close()
+	}
 	res, err := apps.Run(app, cfg)
+	if detach != nil {
+		detach()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cashmere-run:", err)
 		os.Exit(1)
@@ -132,6 +158,12 @@ func main() {
 	if *traceTL != "" {
 		writeOut(*traceTL, func(f *os.File) error {
 			return trace.WritePageTimeline(f, tr, nil)
+		})
+	}
+	if *profOut != "" {
+		prof := metrics.BuildProfile(tr, 20)
+		writeOut(*profOut, func(f *os.File) error {
+			return prof.WriteText(f)
 		})
 	}
 	seq := app.SeqTime(costs.Default())

@@ -23,6 +23,7 @@ import (
 	"cashmere/internal/apps"
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
+	"cashmere/internal/metrics"
 	"cashmere/internal/stats"
 	"cashmere/internal/trace"
 )
@@ -99,6 +100,12 @@ type Suite struct {
 
 	trMu    sync.Mutex
 	traceTr *trace.Tracer
+
+	// metrics, when set, receives every cell's cluster for live
+	// scraping: clusters attach through core.Config.Observer as they
+	// are built and detach (folding their final statistics into the
+	// registry) when their run completes.
+	metrics *metrics.Registry
 }
 
 type runKey struct {
@@ -157,6 +164,19 @@ func (s *Suite) TraceResult() *trace.Tracer {
 	defer s.trMu.Unlock()
 	return s.traceTr
 }
+
+// SetMetrics attaches the suite to a live metrics registry: every
+// cell's cluster becomes scrapeable through /metrics while it runs,
+// and the registry's /status snapshot is served from the suite's
+// runner (per-cell queued/running/done/failed progress with an ETA).
+// Call before the first Run or prefetch.
+func (s *Suite) SetMetrics(reg *metrics.Registry) {
+	s.metrics = reg
+	reg.SetStatusFunc(s.Status)
+}
+
+// Status returns the evaluation's live progress snapshot.
+func (s *Suite) Status() metrics.Status { return s.r.status() }
 
 // Close terminates the progress line, if one is active.
 func (s *Suite) Close() { s.r.prog.close() }
@@ -258,13 +278,21 @@ func (s *Suite) execute(name string, v Variant, topo Topology) (core.Result, err
 		})
 		cfg.Trace = tr
 	}
+	var detach func()
+	if s.metrics != nil {
+		cfg.Observer = func(c *core.Cluster) { detach = s.metrics.Attach(c) }
+	}
 	res, err := apps.Run(app, cfg)
+	if detach != nil {
+		detach()
+	}
 	if tr != nil && err == nil {
 		s.trMu.Lock()
 		s.traceTr = tr
 		s.trMu.Unlock()
 		if s.r.sink != nil {
 			s.r.sink.noteTrace(key, tr.Summary())
+			s.r.sink.noteProfile(key, metrics.BuildProfile(tr, 20))
 		}
 	}
 	return res, err

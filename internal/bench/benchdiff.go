@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// Benchmark regression diffing: cell-by-cell comparison of two -json
+// results files (see jsonout.go for the schema). Because exec_ns,
+// data_bytes, and the counters are virtual-time quantities — functions
+// of the program and the cost model, not of the host — a committed
+// baseline stays comparable across machines; the tolerances absorb the
+// residual host-order tie-breaks the determinism tests document.
+// cashmere-benchdiff wraps this in a command, and CI runs it against
+// BENCH_quick_baseline.json to gate performance regressions.
+
+// DiffOptions configures a results comparison.
+type DiffOptions struct {
+	// RelTol is the relative tolerance for exec_ns and data_bytes
+	// (default 0.05: a >5% move in either direction is reported).
+	RelTol float64
+
+	// CountTol is the relative tolerance for protocol event counters
+	// (default: RelTol). Counters are noisier than virtual time on
+	// lock-based apps, so it is usually set looser.
+	CountTol float64
+
+	// CountSlack is an absolute allowance added on top of CountTol for
+	// counters: a counter difference within CountSlack events never
+	// fires. It keeps tiny counters (3 vs 4 shootdowns) from tripping a
+	// relative gate.
+	CountSlack int64
+
+	// CellPattern, when non-empty, restricts the comparison to cells
+	// whose "app/variant/topology" label matches this regular
+	// expression. CI uses it to gate only the deterministic
+	// barrier-phased applications.
+	CellPattern string
+}
+
+func (o *DiffOptions) fill() error {
+	if o.RelTol == 0 {
+		o.RelTol = 0.05
+	}
+	if o.RelTol < 0 {
+		return fmt.Errorf("benchdiff: negative tolerance %g", o.RelTol)
+	}
+	if o.CountTol == 0 {
+		o.CountTol = o.RelTol
+	}
+	if o.CountSlack < 0 {
+		return fmt.Errorf("benchdiff: negative count slack %d", o.CountSlack)
+	}
+	return nil
+}
+
+// DiffEntry is one reported difference.
+type DiffEntry struct {
+	Cell   string  // app/variant/topology label
+	Metric string  // "exec_ns", "data_bytes", or a counter name
+	Old    int64   // baseline value
+	New    int64   // current value
+	Delta  float64 // relative change, (new-old)/old
+}
+
+// DiffReport is the outcome of comparing two results files.
+type DiffReport struct {
+	// Regressions are differences beyond tolerance. Any entry here
+	// makes OK() false.
+	Regressions []DiffEntry
+
+	// MissingCells are baseline cells absent from the current file;
+	// NewCells the reverse. Missing cells are regressions (coverage
+	// loss); new cells are informational.
+	MissingCells []string
+	NewCells     []string
+
+	// ErrorCells are cells that failed in the current file but
+	// succeeded in the baseline.
+	ErrorCells []string
+
+	// Compared is the number of cell pairs actually compared.
+	Compared int
+}
+
+// OK reports whether the comparison passed: no metric beyond
+// tolerance, no lost cells, no newly-failing cells.
+func (r *DiffReport) OK() bool {
+	return len(r.Regressions) == 0 && len(r.MissingCells) == 0 && len(r.ErrorCells) == 0
+}
+
+// LoadResults reads a -json results file.
+func LoadResults(path string) (*ResultsFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ResultsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchdiff: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// cellLabel renders a CellResult's identity label.
+func cellLabel(c CellResult) string {
+	return fmt.Sprintf("%s/%s/%s", c.App, c.Variant, c.Topology)
+}
+
+// DiffResults compares current against baseline cell by cell.
+func DiffResults(baseline, current *ResultsFile, opts DiffOptions) (*DiffReport, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	var pat *regexp.Regexp
+	if opts.CellPattern != "" {
+		var err error
+		pat, err = regexp.Compile(opts.CellPattern)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad cell pattern: %w", err)
+		}
+	}
+	match := func(label string) bool { return pat == nil || pat.MatchString(label) }
+
+	cur := make(map[string]CellResult)
+	for _, c := range current.Cells {
+		cur[cellLabel(c)] = c
+	}
+	base := make(map[string]CellResult, len(baseline.Cells))
+	for _, c := range baseline.Cells {
+		base[cellLabel(c)] = c
+	}
+
+	rep := &DiffReport{}
+	for _, c := range current.Cells {
+		label := cellLabel(c)
+		if _, ok := base[label]; !ok && match(label) {
+			rep.NewCells = append(rep.NewCells, label)
+		}
+	}
+	sort.Strings(rep.NewCells)
+
+	labels := make([]string, 0, len(base))
+	for label := range base {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+
+	for _, label := range labels {
+		if !match(label) {
+			continue
+		}
+		b := base[label]
+		c, ok := cur[label]
+		if !ok {
+			rep.MissingCells = append(rep.MissingCells, label)
+			continue
+		}
+		if b.Error != "" {
+			continue // baseline itself failed: nothing to gate against
+		}
+		if c.Error != "" {
+			rep.ErrorCells = append(rep.ErrorCells, fmt.Sprintf("%s: %s", label, c.Error))
+			continue
+		}
+		rep.Compared++
+
+		check := func(metric string, old, new int64, tol float64, slack int64) {
+			d := new - old
+			if d < 0 {
+				d = -d
+			}
+			if d <= slack {
+				return
+			}
+			var rel float64
+			if old != 0 {
+				rel = float64(new-old) / float64(old)
+			} else if new != 0 {
+				rel = math.Inf(1)
+			}
+			if math.Abs(rel) > tol {
+				rep.Regressions = append(rep.Regressions, DiffEntry{
+					Cell: label, Metric: metric, Old: old, New: new, Delta: rel,
+				})
+			}
+		}
+
+		check("exec_ns", b.ExecNS, c.ExecNS, opts.RelTol, 0)
+		check("data_bytes", b.DataBytes, c.DataBytes, opts.RelTol, 0)
+
+		names := make(map[string]bool)
+		for n := range b.Counts {
+			names[n] = true
+		}
+		for n := range c.Counts {
+			names[n] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, n := range sorted {
+			check(n, b.Counts[n], c.Counts[n], opts.CountTol, opts.CountSlack)
+		}
+	}
+	return rep, nil
+}
+
+// WriteText renders the report as a readable table: regressions first
+// (worst relative change at the top), then coverage changes.
+func (r *DiffReport) WriteText(w io.Writer) {
+	if r.OK() {
+		fmt.Fprintf(w, "benchdiff: OK — %d cells compared, no regression beyond tolerance\n", r.Compared)
+		if len(r.NewCells) > 0 {
+			fmt.Fprintf(w, "%d new cells not in baseline (informational)\n", len(r.NewCells))
+		}
+		return
+	}
+
+	if len(r.Regressions) > 0 {
+		regs := append([]DiffEntry(nil), r.Regressions...)
+		sort.Slice(regs, func(i, j int) bool {
+			if a, b := math.Abs(regs[i].Delta), math.Abs(regs[j].Delta); a != b {
+				return a > b
+			}
+			if regs[i].Cell != regs[j].Cell {
+				return regs[i].Cell < regs[j].Cell
+			}
+			return regs[i].Metric < regs[j].Metric
+		})
+		fmt.Fprintf(w, "benchdiff: %d metric(s) beyond tolerance across %d compared cells\n\n", len(regs), r.Compared)
+		fmt.Fprintf(w, "%-24s %-18s %14s %14s %8s\n", "cell", "metric", "baseline", "current", "delta")
+		for _, e := range regs {
+			fmt.Fprintf(w, "%-24s %-18s %14d %14d %+7.1f%%\n", e.Cell, e.Metric, e.Old, e.New, 100*e.Delta)
+		}
+	}
+	for _, m := range r.MissingCells {
+		fmt.Fprintf(w, "missing from current results: %s\n", m)
+	}
+	for _, e := range r.ErrorCells {
+		fmt.Fprintf(w, "newly failing: %s\n", e)
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"sync"
 
-	"cashmere/internal/stats"
+	"cashmere/internal/metrics"
 	"cashmere/internal/trace"
 )
 
@@ -32,6 +32,8 @@ import (
 //	      "wall_ns": 1834000,
 //	      "trace": {...},         // present only for the cell traced
 //	                              // with -trace (see docs/TRACING.md)
+//	      "profile": {...},       // hot-page/hot-lock attribution for
+//	                              // the traced cell (docs/METRICS.md)
 //	      "error": "..."          // present only for failed cells
 //	    }, ...
 //	  ]
@@ -72,6 +74,10 @@ type CellResult struct {
 	// Suite.SetTrace; nil for untraced cells.
 	Trace *trace.Summary `json:"trace,omitempty"`
 
+	// Profile holds the hot-page / hot-lock attribution report for the
+	// traced cell; nil for untraced cells.
+	Profile *metrics.Profile `json:"profile,omitempty"`
+
 	// Error is the failure message of a failed (errored, panicked, or
 	// timed-out) cell; empty on success.
 	Error string `json:"error,omitempty"`
@@ -89,9 +95,10 @@ type ResultsFile struct {
 // JSONSink accumulates per-cell results as the evaluation runs and
 // serializes them on WriteTo. It is safe for concurrent use.
 type JSONSink struct {
-	mu     sync.Mutex
-	file   ResultsFile
-	trsums map[runKey]*trace.Summary
+	mu       sync.Mutex
+	file     ResultsFile
+	trsums   map[runKey]*trace.Summary
+	profiles map[runKey]*metrics.Profile
 }
 
 // NewJSONSink returns a sink describing an evaluation at the given
@@ -112,6 +119,17 @@ func (s *JSONSink) noteTrace(key runKey, sum trace.Summary) {
 	s.mu.Unlock()
 }
 
+// noteProfile records a traced cell's attribution profile, attached to
+// the cell like noteTrace's summary.
+func (s *JSONSink) noteProfile(key runKey, p *metrics.Profile) {
+	s.mu.Lock()
+	if s.profiles == nil {
+		s.profiles = make(map[runKey]*metrics.Profile)
+	}
+	s.profiles[key] = p
+	s.mu.Unlock()
+}
+
 // add records one completed cell.
 func (s *JSONSink) add(key runKey, out cellOut) {
 	cr := CellResult{
@@ -127,22 +145,15 @@ func (s *JSONSink) add(key runKey, out cellOut) {
 		cr.Procs = t.Procs
 		cr.ExecNS = t.ExecNS
 		cr.DataBytes = t.DataBytes
-		cr.Counts = make(map[string]int64)
-		for c := stats.Counter(0); int(c) < stats.NumCounters; c++ {
-			if t.Counts[c] != 0 {
-				cr.Counts[c.String()] = t.Counts[c]
-			}
-		}
-		cr.TimeNS = make(map[string]int64)
-		for c := stats.Component(0); int(c) < stats.NumComponents; c++ {
-			if t.Time[c] != 0 {
-				cr.TimeNS[c.String()] = t.Time[c]
-			}
-		}
+		cr.Counts = t.CountsMap()
+		cr.TimeNS = t.TimeMap()
 	}
 	s.mu.Lock()
 	if sum, ok := s.trsums[key]; ok && out.err == nil {
 		cr.Trace = sum
+	}
+	if p, ok := s.profiles[key]; ok && out.err == nil {
+		cr.Profile = p
 	}
 	s.file.Cells = append(s.file.Cells, cr)
 	s.mu.Unlock()

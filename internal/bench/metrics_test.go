@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/core"
+	"cashmere/internal/metrics"
+)
+
+// TestMetricsPreservesVirtualTime is the instrumented-equals-
+// uninstrumented guarantee of the metrics layer, the counterpart of
+// TestTracingPreservesVirtualTime: attaching a cluster to a live
+// metrics registry — with a goroutine scraping it concurrently the
+// whole time — must not change any virtual-time statistic, because
+// scrapes are plain reads that charge nothing and take no protocol
+// lock. Runs under the same conditions as TestVirtualTimeDeterminism
+// (no -race: scrapes intentionally race the owner goroutines'
+// plain-field counters, which is monitoring-grade by design but would
+// be flagged by the detector; GOMAXPROCS pinned for stable
+// tie-breaks).
+func TestMetricsPreservesVirtualTime(t *testing.T) {
+	if raceEnabled {
+		t.Skip("mid-run scrapes are deliberate monitoring-grade data races; see comment")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	cfg := core.Config{
+		Nodes:        FullCluster.Nodes,
+		ProcsPerNode: FullCluster.PPN,
+		Protocol:     core.TwoLevel,
+	}
+	plain, err := apps.Run(freshApp(t, "SOR"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	var detach func()
+	cfg.Observer = func(c *core.Cluster) { detach = reg.Attach(c) }
+
+	// Scrape continuously while the observed run executes.
+	var stop atomic.Bool
+	scraped := make(chan int)
+	go func() {
+		n := 0
+		for !stop.Load() {
+			reg.Snapshot()
+			n++
+		}
+		scraped <- n
+	}()
+
+	observed, err := apps.Run(freshApp(t, "SOR"), cfg)
+	stop.Store(true)
+	n := <-scraped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detach == nil {
+		t.Fatal("Observer was not invoked")
+	}
+	detach()
+	if n == 0 {
+		t.Fatal("scraper never ran")
+	}
+
+	compareResults(t, plain, observed)
+
+	// After detach the registry's totals are exact.
+	snap := reg.Snapshot()
+	if snap.Total.Counts != observed.Counts || snap.Total.ExecNS != observed.ExecNS {
+		t.Errorf("registry totals diverge from the run result:\nreg %+v\nrun %+v", snap.Total, observed.Total)
+	}
+	if snap.DoneRuns != 1 || snap.ActiveRuns != 0 {
+		t.Errorf("run accounting: done=%d active=%d", snap.DoneRuns, snap.ActiveRuns)
+	}
+}
+
+// TestSuiteSetMetrics checks the bench plumbing: every executed cell
+// attaches to and detaches from the registry, and the /status snapshot
+// reports the completed cells.
+func TestSuiteSetMetrics(t *testing.T) {
+	s := NewSuite(true)
+	reg := metrics.NewRegistry()
+	s.SetMetrics(reg)
+
+	v := Variant{Kind: core.TwoLevel}
+	if _, err := s.Run("SOR", v, Topology{Nodes: 2, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("LU", v, Topology{Nodes: 2, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.DoneRuns != 2 || snap.ActiveRuns != 0 {
+		t.Fatalf("registry run accounting: done=%d active=%d", snap.DoneRuns, snap.ActiveRuns)
+	}
+	if snap.Total.Counts[0] == 0 && snap.Total.DataBytes == 0 {
+		t.Error("registry accumulated no statistics")
+	}
+	if len(snap.LinkBusy) != 2 {
+		t.Errorf("link busy gauges: %v", snap.LinkBusy)
+	}
+
+	st := reg.Status()
+	if st.Done != 2 || st.Running != 0 || st.Queued != 0 || st.Failed != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+	if len(st.Cells) != 2 {
+		t.Fatalf("status cells: %+v", st.Cells)
+	}
+	for _, c := range st.Cells {
+		if c.State != "done" {
+			t.Errorf("cell %s state %q", c.Name, c.State)
+		}
+	}
+}
+
+// TestSuiteProfileInJSON checks that the traced cell's attribution
+// profile lands in the JSON results, and only there.
+func TestSuiteProfileInJSON(t *testing.T) {
+	s := NewSuite(true)
+	sink := NewJSONSink(true, 1)
+	s.SetJSON(sink)
+	s.SetTrace("SOR/2L/8:2", nil)
+
+	v := Variant{Kind: core.TwoLevel}
+	if _, err := s.Run("SOR", v, Topology{Nodes: 4, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("LU", v, Topology{Nodes: 4, PPN: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	var withProfile int
+	for _, c := range sink.file.Cells {
+		if c.Profile == nil {
+			continue
+		}
+		withProfile++
+		if c.App != "SOR" {
+			t.Errorf("profile attached to %s/%s/%s", c.App, c.Variant, c.Topology)
+		}
+		if len(c.Profile.Pages) == 0 {
+			t.Error("traced cell's profile has no pages")
+		}
+		for _, pg := range c.Profile.Pages {
+			if pg.Pattern == "" {
+				t.Errorf("page %d missing sharing pattern", pg.Page)
+			}
+		}
+	}
+	if withProfile != 1 {
+		t.Errorf("cells with profile = %d, want 1", withProfile)
+	}
+}
+
+// TestRunnerStatusStates drives a runner whose exec blocks, verifying
+// the queued → running → done transitions /status reports.
+func TestRunnerStatusStates(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	r := newRunner(1, func(k runKey) (core.Result, error) {
+		started <- struct{}{}
+		<-release
+		return core.Result{}, nil
+	})
+
+	k1 := runKey{app: "A", v: Variant{}, topo: Topology{Nodes: 1, PPN: 1}}
+	k2 := runKey{app: "B", v: Variant{}, topo: Topology{Nodes: 1, PPN: 1}}
+	done := make(chan struct{}, 2)
+	go func() { r.run(k1); done <- struct{}{} }()
+	<-started // k1 holds the single worker slot
+	go func() { r.run(k2); done <- struct{}{} }()
+
+	// Wait until k2 is registered in flight (queued behind k1).
+	for {
+		st := r.status()
+		if st.Running == 1 && st.Queued == 1 {
+			if st.Cells[0].State != "running" || st.Cells[1].State != "queued" {
+				t.Fatalf("cell ordering: %+v", st.Cells)
+			}
+			break
+		}
+	}
+
+	close(release)
+	<-done
+	<-done
+	st := r.status()
+	if st.Done != 2 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("final status: %+v", st)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cashmere/internal/core"
+	"cashmere/internal/metrics"
 )
 
 // runner is the Suite's concurrent execution engine: a bounded worker
@@ -25,6 +26,11 @@ type runner struct {
 	mu       sync.Mutex
 	results  map[runKey]cellOut
 	inflight map[runKey]*flight
+
+	// starts records when each currently-executing cell acquired its
+	// worker slot; a key in inflight but not here is queued. This feeds
+	// the /status snapshot and is independent of the progress line.
+	starts map[runKey]time.Time
 
 	prog *progress
 	sink *JSONSink
@@ -52,6 +58,7 @@ func newRunner(workers int, exec func(runKey) (core.Result, error)) *runner {
 		exec:     exec,
 		results:  make(map[runKey]cellOut),
 		inflight: make(map[runKey]*flight),
+		starts:   make(map[runKey]time.Time),
 	}
 	r.setWorkers(workers)
 	return r
@@ -90,6 +97,9 @@ func (r *runner) run(key runKey) (core.Result, error) {
 	r.sem <- struct{}{} // acquire a worker slot
 	r.prog.started(key)
 	start := time.Now()
+	r.mu.Lock()
+	r.starts[key] = start
+	r.mu.Unlock()
 	res, err := r.execCell(key)
 	out := cellOut{res: res, err: err, wallNS: time.Since(start).Nanoseconds()}
 	<-r.sem
@@ -97,6 +107,7 @@ func (r *runner) run(key runKey) (core.Result, error) {
 	r.mu.Lock()
 	r.results[key] = out
 	delete(r.inflight, key)
+	delete(r.starts, key)
 	r.mu.Unlock()
 	f.out = out
 	close(f.done)
@@ -168,6 +179,66 @@ func (r *runner) failed() []string {
 // keyLabel renders a cell key as app/variant/topology.
 func keyLabel(k runKey) string {
 	return fmt.Sprintf("%s/%s/%s", k.app, k.v.Label(), k.topo.Label())
+}
+
+// status builds the /status snapshot: per-cell progress (running cells
+// first, then queued, then completed) and an ETA extrapolated from the
+// mean wall time of completed cells across the worker pool.
+func (r *runner) status() metrics.Status {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var st metrics.Status
+	var running, queued, finished []metrics.CellStatus
+	var doneWallNS int64
+
+	for k, start := range r.starts {
+		st.Running++
+		running = append(running, metrics.CellStatus{
+			Name:   keyLabel(k),
+			State:  "running",
+			WallMS: now.Sub(start).Milliseconds(),
+		})
+	}
+	for k := range r.inflight {
+		if _, isRunning := r.starts[k]; isRunning {
+			continue
+		}
+		st.Queued++
+		queued = append(queued, metrics.CellStatus{Name: keyLabel(k), State: "queued"})
+	}
+	for k, o := range r.results {
+		cs := metrics.CellStatus{Name: keyLabel(k), State: "done", WallMS: o.wallNS / 1e6}
+		if o.err != nil {
+			cs.State = "failed"
+			st.Failed++
+		} else {
+			st.Done++
+		}
+		doneWallNS += o.wallNS
+		finished = append(finished, cs)
+	}
+
+	if completed := st.Done + st.Failed; completed > 0 {
+		mean := float64(doneWallNS) / float64(completed) / 1e9
+		remaining := st.Queued + st.Running
+		st.ETASeconds = float64(remaining) * mean / float64(cap(r.sem))
+	}
+
+	byWall := func(cells []metrics.CellStatus) {
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].WallMS != cells[j].WallMS {
+				return cells[i].WallMS > cells[j].WallMS
+			}
+			return cells[i].Name < cells[j].Name
+		})
+	}
+	byWall(running)
+	sort.Slice(queued, func(i, j int) bool { return queued[i].Name < queued[j].Name })
+	byWall(finished)
+	st.Cells = append(append(running, queued...), finished...)
+	return st
 }
 
 // progress renders a live one-line status of the evaluation: cells

@@ -143,6 +143,15 @@ type Config struct {
 	// CASHMERE_TRACE_PAGE environment variable is set, New builds a
 	// compatibility tracer that streams the variable's pages to stderr.
 	Trace *trace.Tracer
+
+	// Observer, when non-nil, is called with the fully-constructed
+	// cluster at the end of New, before any processor runs. It is the
+	// attachment hook for monitoring layers (internal/metrics): the
+	// observer can hold the *Cluster and sample SnapshotStats, LinkBusy,
+	// and HubBusy while Run executes. Observation must not mutate the
+	// cluster; it charges no virtual time, so observed and unobserved
+	// runs produce bit-identical statistics.
+	Observer func(*Cluster)
 }
 
 func (c *Config) fill() error {
@@ -439,6 +448,9 @@ func New(cfg Config) (*Cluster, error) {
 		c.flags[i] = msync.NewFlag(c.net)
 	}
 	c.bar = msync.NewBarrier(total, c.model.Barrier(total, cfg.Protocol.TwoLevelFamily()))
+	if cfg.Observer != nil {
+		cfg.Observer(c)
+	}
 	return c, nil
 }
 
@@ -543,3 +555,37 @@ func (c *Cluster) ReadSharedF(addr int) float64 {
 
 // BytesMoved returns the total Memory Channel payload traffic so far.
 func (c *Cluster) BytesMoved() int64 { return c.net.BytesMoved() }
+
+// SnapshotStats aggregates the per-processor statistics as they stand
+// right now. It is a monitoring-grade read: the per-processor counters
+// are plain fields written by their owner goroutines, so a snapshot
+// taken mid-run may be slightly stale or internally inconsistent
+// (individual counters are read without synchronization). That is
+// acceptable for a metrics scrape and free for the simulated
+// processors — sampling charges no virtual time and takes no protocol
+// lock. After Run returns the snapshot is exact.
+func (c *Cluster) SnapshotStats() stats.Total {
+	finish := make([]int64, len(c.procs))
+	perProc := make([]*stats.Proc, len(c.procs))
+	for i, p := range c.procs {
+		finish[i] = p.clk.Now()
+		perProc[i] = &p.st
+	}
+	return stats.Aggregate(perProc, finish)
+}
+
+// LinkBusy returns each Memory Channel link's cumulative busy
+// (occupied) virtual nanoseconds, indexed by physical node. Like
+// SnapshotStats, mid-run reads are monitoring-grade.
+func (c *Cluster) LinkBusy() []int64 {
+	busy := make([]int64, c.cfg.Nodes)
+	for i := range busy {
+		busy[i] = c.net.LinkBusyNS(i)
+	}
+	return busy
+}
+
+// HubBusy returns the shared hub's cumulative busy virtual nanoseconds
+// and whether the configured fabric has a hub at all (the switched
+// fabric does not).
+func (c *Cluster) HubBusy() (int64, bool) { return c.net.HubBusyNS() }

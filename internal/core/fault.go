@@ -332,9 +332,9 @@ func (p *Proc) applyUpdate(page int, frame []int64) {
 			}
 		}
 		p.emit(trace.EvShootdownDrain, page, revoked, 0)
-		changed := diff.Outgoing(frame, twin, master)
+		changed, lo, hi := diff.OutgoingRange(frame, twin, master)
 		if changed > 0 {
-			p.flushBytes(page, changed)
+			p.flushBytes(page, changed, lo, hi)
 		}
 		diff.Incoming(frame, twin, master)
 		n.dropTwin(page)
@@ -353,8 +353,10 @@ func (p *Proc) applyUpdate(page int, frame []int64) {
 
 // flushBytes accounts for changed words of diff data flowing from p's
 // node to page's home: protocol cost for the diff, plus network
-// occupancy.
-func (p *Proc) flushBytes(page, changedWords int) {
+// occupancy. lo/hi is the inclusive changed-word span (-1, -1 when
+// unknown), recorded on the diff event for the hot-page profiler's
+// false-sharing classifier.
+func (p *Proc) flushBytes(page, changedWords, lo, hi int) {
 	c := p.c
 	homeProto, _ := c.homeOf(page)
 	physHome := c.physOfProto(homeProto)
@@ -365,5 +367,5 @@ func (p *Proc) flushBytes(page, changedWords int) {
 	p.st.Data(bytes)
 	arrival := c.net.Transfer(p.n.phys, bytes, p.clk.Now())
 	p.chargeWait(arrival)
-	p.emit(trace.EvDiffOut, page, int64(changedWords), 0)
+	p.emit(trace.EvDiffOut, page, int64(changedWords), trace.PackWordSpan(lo, hi))
 }

@@ -238,14 +238,14 @@ func (p *Proc) flushPage(page int, releaseStart int64) {
 				concurrent = true
 			}
 		}
-		changed := diff.FlushUpdate(frame, n.twins[page], c.masters[page])
+		changed, lo, hi := diff.FlushUpdateRange(frame, n.twins[page], c.masters[page])
 		p.trace(page, "flush-update: %d words", changed)
 		if changed > 0 {
 			p.st.Inc(stats.PageFlushes)
 			if concurrent {
 				p.st.Inc(stats.FlushUpdates)
 			}
-			p.flushBytes(page, changed)
+			p.flushBytes(page, changed, lo, hi)
 		}
 		meta.flushTS = n.lclock.Tick()
 	}

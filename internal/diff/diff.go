@@ -67,16 +67,49 @@ func Outgoing(page, twin, home []int64) int {
 // release by another local writer will flush only genuinely newer
 // modifications.
 func FlushUpdate(page, twin, home []int64) int {
-	n := 0
+	n, _, _ := FlushUpdateRange(page, twin, home)
+	return n
+}
+
+// FlushUpdateRange is FlushUpdate, additionally reporting the inclusive
+// span [lo, hi] of changed word offsets (-1, -1 when nothing changed).
+// The span feeds the hot-page profiler's sharing-pattern classifier:
+// writers whose flushed spans never overlap are false-sharing
+// candidates. Tracking it costs two compares per changed word.
+func FlushUpdateRange(page, twin, home []int64) (n, lo, hi int) {
+	lo, hi = -1, -1
 	for i := range twin {
 		v := atomic.LoadInt64(&page[i])
 		if v != twin[i] {
 			atomic.StoreInt64(&home[i], v)
 			atomic.StoreInt64(&twin[i], v)
+			if n == 0 {
+				lo = i
+			}
+			hi = i
 			n++
 		}
 	}
-	return n
+	return n, lo, hi
+}
+
+// OutgoingRange is Outgoing, additionally reporting the inclusive span
+// [lo, hi] of changed word offsets (-1, -1 when nothing changed), for
+// the same profiling purpose as FlushUpdateRange.
+func OutgoingRange(page, twin, home []int64) (n, lo, hi int) {
+	lo, hi = -1, -1
+	for i := range twin {
+		v := atomic.LoadInt64(&page[i])
+		if v != twin[i] {
+			atomic.StoreInt64(&home[i], v)
+			if n == 0 {
+				lo = i
+			}
+			hi = i
+			n++
+		}
+	}
+	return n, lo, hi
 }
 
 // Incoming compares incoming (the fresh master copy) against twin and

@@ -253,3 +253,38 @@ func TestOutgoingMatchesChanged(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRangeVariants(t *testing.T) {
+	home := make([]int64, 16)
+	p := make([]int64, 16)
+	tw := Twin(p)
+	p[3] = 1
+	p[9] = 2
+
+	n, lo, hi := FlushUpdateRange(p, tw, home)
+	if n != 2 || lo != 3 || hi != 9 {
+		t.Errorf("FlushUpdateRange = (%d,%d,%d), want (2,3,9)", n, lo, hi)
+	}
+	if home[3] != 1 || home[9] != 2 || tw[3] != 1 || tw[9] != 2 {
+		t.Error("FlushUpdateRange did not apply to home and twin")
+	}
+	// Nothing left to flush: empty span.
+	if n, lo, hi := FlushUpdateRange(p, tw, home); n != 0 || lo != -1 || hi != -1 {
+		t.Errorf("clean FlushUpdateRange = (%d,%d,%d), want (0,-1,-1)", n, lo, hi)
+	}
+
+	home2 := make([]int64, 16)
+	p2 := make([]int64, 16)
+	tw2 := Twin(p2)
+	p2[15] = 5
+	n, lo, hi = OutgoingRange(p2, tw2, home2)
+	if n != 1 || lo != 15 || hi != 15 {
+		t.Errorf("OutgoingRange = (%d,%d,%d), want (1,15,15)", n, lo, hi)
+	}
+	if home2[15] != 5 {
+		t.Error("OutgoingRange did not apply to home")
+	}
+	if tw2[15] != 0 {
+		t.Error("OutgoingRange modified the twin")
+	}
+}

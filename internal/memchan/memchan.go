@@ -92,6 +92,27 @@ func (n *Network) Model() costs.Model { return n.model }
 // BytesMoved returns the total payload bytes transferred so far.
 func (n *Network) BytesMoved() int64 { return n.moved.Load() }
 
+// LinkBusyNS returns the total virtual time node i's PCI link has been
+// occupied by transfers. The accounting is exact — each modelled
+// transfer contributes precisely its occupancy — so dividing by the
+// run's current virtual time gives the link's true utilization.
+func (n *Network) LinkBusyNS(i int) int64 {
+	if i < 0 || i >= len(n.links) {
+		return 0
+	}
+	return n.links[i].BusyNS()
+}
+
+// HubBusyNS returns the total virtual time the shared hub has been
+// occupied, and whether the fabric has a hub at all (a switched fabric
+// does not).
+func (n *Network) HubBusyNS() (int64, bool) {
+	if n.hub == nil {
+		return 0, false
+	}
+	return n.hub.BusyNS(), true
+}
+
 // SetTracer attaches a structured event tracer (nil disables tracing).
 // The tracer must have at least Nodes() link tracks. Not safe to call
 // concurrently with traffic; set it before the simulation starts.

@@ -202,6 +202,52 @@ func TestTransferContention(t *testing.T) {
 	}
 }
 
+func TestBusyTimeAccounting(t *testing.T) {
+	n := net8(t)
+	m := n.Model()
+	// Two nodes inject a page each at the same instant. The transfers
+	// overlap on the hub (which serializes them) but ride separate
+	// links, so: each link's busy time is exactly one page's link
+	// occupancy, and the hub's busy time is exactly two pages' hub
+	// occupancy — contention shifts completion times, never the busy
+	// accounting.
+	n.Transfer(0, 8192, 0)
+	n.Transfer(1, 8192, 0)
+	linkOcc := costs.Occupancy(8192, m.MCLinkBandwidth)
+	for _, src := range []int{0, 1} {
+		if got := n.LinkBusyNS(src); got != linkOcc {
+			t.Errorf("link %d busy = %d, want %d", src, got, linkOcc)
+		}
+	}
+	if got := n.LinkBusyNS(2); got != 0 {
+		t.Errorf("idle link busy = %d, want 0", got)
+	}
+	if got := n.LinkBusyNS(-1); got != 0 {
+		t.Errorf("out-of-range link busy = %d, want 0", got)
+	}
+	hubOcc := 2 * costs.Occupancy(8192, m.MCAggregateBandwidth)
+	hub, ok := n.HubBusyNS()
+	if !ok {
+		t.Fatal("serial fabric reported no hub")
+	}
+	if hub != hubOcc {
+		t.Errorf("hub busy = %d, want %d", hub, hubOcc)
+	}
+}
+
+func TestBusyTimeSwitchedFabricHasNoHub(t *testing.T) {
+	m := costs.Default()
+	m.MCFabric = costs.FabricSwitched
+	n := New(4, m)
+	n.Transfer(0, 8192, 0)
+	if _, ok := n.HubBusyNS(); ok {
+		t.Error("switched fabric reported a hub")
+	}
+	if got := n.LinkBusyNS(0); got != costs.Occupancy(8192, m.MCLinkBandwidth) {
+		t.Errorf("switched-fabric link busy = %d", got)
+	}
+}
+
 func TestTransferSameLinkSerializes(t *testing.T) {
 	n := net8(t)
 	m := n.Model()

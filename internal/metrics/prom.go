@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: metric
+// families appear in a fixed order and labeled series are sorted by
+// label value, so a scrape of a quiescent registry is byte-stable (the
+// golden test relies on this, scrubbing only the wall-clock gauge).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	b := &strings.Builder{}
+
+	family := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	family("cashmere_counter_total", "Protocol event counters (Table 3), summed across runs.", "counter")
+	writeLabeledInts(b, "cashmere_counter_total", "counter", s.Total.CountsMap())
+
+	family("cashmere_component_time_ns", "Execution-time breakdown (Figure 6) in virtual nanoseconds, summed across processors and runs.", "counter")
+	writeLabeledInts(b, "cashmere_component_time_ns", "component", s.Total.TimeMap())
+
+	family("cashmere_data_bytes_total", "Memory Channel payload traffic in bytes.", "counter")
+	fmt.Fprintf(b, "cashmere_data_bytes_total %d\n", s.Total.DataBytes)
+
+	family("cashmere_virtual_time_ns", "Virtual execution time of the slowest processor of the longest run.", "gauge")
+	fmt.Fprintf(b, "cashmere_virtual_time_ns %d\n", s.Total.ExecNS)
+
+	family("cashmere_wall_time_seconds", "Host wall-clock seconds since the metrics registry was created.", "gauge")
+	fmt.Fprintf(b, "cashmere_wall_time_seconds %g\n", s.WallSeconds)
+
+	family("cashmere_procs", "Simulated processors, summed across runs.", "gauge")
+	fmt.Fprintf(b, "cashmere_procs %d\n", s.Total.Procs)
+
+	family("cashmere_runs_active", "Clusters currently attached and running.", "gauge")
+	fmt.Fprintf(b, "cashmere_runs_active %d\n", s.ActiveRuns)
+
+	family("cashmere_runs_completed_total", "Clusters that have run to completion and detached.", "counter")
+	fmt.Fprintf(b, "cashmere_runs_completed_total %d\n", s.DoneRuns)
+
+	family("cashmere_link_busy_ns_total", "Per-link Memory Channel busy (occupied) virtual nanoseconds, indexed by physical node and summed across runs.", "counter")
+	for i, busy := range s.LinkBusy {
+		fmt.Fprintf(b, "cashmere_link_busy_ns_total{link=\"%d\"} %d\n", i, busy)
+	}
+
+	family("cashmere_link_utilization", "Per-link busy fraction: busy time over summed per-run virtual execution time.", "gauge")
+	for i, busy := range s.LinkBusy {
+		fmt.Fprintf(b, "cashmere_link_utilization{link=\"%d\"} %s\n", i, ratio(busy, s.LinkVirtualNS))
+	}
+
+	if s.HasHub {
+		family("cashmere_hub_busy_ns_total", "Memory Channel hub busy virtual nanoseconds, summed across runs (absent for switched fabrics).", "counter")
+		fmt.Fprintf(b, "cashmere_hub_busy_ns_total %d\n", s.HubBusy)
+
+		family("cashmere_hub_utilization", "Hub busy fraction: busy time over summed per-run virtual execution time.", "gauge")
+		fmt.Fprintf(b, "cashmere_hub_utilization %s\n", ratio(s.HubBusy, s.LinkVirtualNS))
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeLabeledInts emits one series per map entry, sorted by label
+// value for deterministic output.
+func writeLabeledInts(b *strings.Builder, name, label string, m map[string]int64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		// %q escapes quotes, backslashes, and newlines exactly as the
+		// exposition format requires of label values.
+		fmt.Fprintf(b, "%s{%s=%q} %d\n", name, label, k, m[k])
+	}
+}
+
+// ratio formats busy/total as a fraction, "0" when the denominator is
+// zero (nothing has run yet).
+func ratio(busy, total int64) string {
+	if total <= 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%g", float64(busy)/float64(total))
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package metrics_test
+
+// raceEnabled mirrors internal/bench's build-tag constant: the golden
+// scrape test relies on bit-identical virtual-time results, which hold
+// only under GOMAXPROCS(1) without the race detector's scheduling
+// perturbation (see the determinism tests in internal/bench).
+const raceEnabled = false

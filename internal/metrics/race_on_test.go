@@ -1,0 +1,5 @@
+//go:build race
+
+package metrics_test
+
+const raceEnabled = true

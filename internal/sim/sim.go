@@ -58,6 +58,7 @@ func (c *Clock) AdvanceTo(t int64) int64 {
 // completion time. Bus is safe for concurrent use.
 type Bus struct {
 	freeAt    atomic.Int64
+	busy      atomic.Int64 // total virtual time the bus has been occupied
 	bandwidth int64
 }
 
@@ -101,9 +102,22 @@ func (b *Bus) Use(now, n int64) int64 {
 			next = end
 		}
 		if b.freeAt.CompareAndSwap(free, next) {
+			b.busy.Add(occ)
 			return end
 		}
 	}
+}
+
+// BusyNS returns the total virtual time the bus has been occupied by
+// transfers — the exact sum of every granted occupancy (the bus is
+// serially occupied, so occupancies never overlap). Dividing by the
+// current virtual time yields the bus's utilization; the live metrics
+// layer exports that ratio for every Memory Channel link and the hub.
+func (b *Bus) BusyNS() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.busy.Load()
 }
 
 // Stall returns the extra time a computation of ns nanoseconds incurs

@@ -114,6 +114,38 @@ func TestBusQueueCap(t *testing.T) {
 	}
 }
 
+func TestBusBusyAccounting(t *testing.T) {
+	b := NewBus(1 << 20) // 1 MB/s
+	occ := int64(time.Second)
+	// Two transfers requested at the same instant contend: the second
+	// queues behind the first, yet busy time is the exact sum of the
+	// two occupancies — the bus is serially occupied, so overlapping
+	// requests never double-count.
+	b.Use(0, 1<<20)
+	end2 := b.Use(0, 1<<20)
+	if end2 != 2*occ {
+		t.Fatalf("queued transfer ends at %d, want %d", end2, 2*occ)
+	}
+	if got := b.BusyNS(); got != 2*occ {
+		t.Errorf("BusyNS after two contended transfers = %d, want %d", got, 2*occ)
+	}
+	// A later idle-bus transfer adds exactly its own occupancy: idle
+	// gaps are not busy time.
+	b.Use(10*occ, 1<<20)
+	if got := b.BusyNS(); got != 3*occ {
+		t.Errorf("BusyNS after idle-gap transfer = %d, want %d", got, 3*occ)
+	}
+	var nilBus *Bus
+	if nilBus.BusyNS() != 0 {
+		t.Errorf("nil bus BusyNS = %d", nilBus.BusyNS())
+	}
+	zero := NewBus(0)
+	zero.Use(0, 1000)
+	if zero.BusyNS() != 0 {
+		t.Errorf("zero-bandwidth bus accumulated busy time: %d", zero.BusyNS())
+	}
+}
+
 func TestStall(t *testing.T) {
 	// One sharer moving 1000 bytes in 1us on a 1GB/s bus: occupancy
 	// ~1us, no stall.

@@ -153,6 +153,52 @@ func Aggregate(procs []*Proc, finish []int64) Total {
 	return t
 }
 
+// CountsMap returns the nonzero counters keyed by their Counter.String()
+// names. It is the single naming surface shared by the bench JSON
+// results, the /metrics Prometheus encoder, and cashmere-benchdiff, so
+// the exported counter vocabularies can never skew.
+func (t Total) CountsMap() map[string]int64 {
+	out := make(map[string]int64)
+	for c := Counter(0); int(c) < NumCounters; c++ {
+		if t.Counts[c] != 0 {
+			out[c.String()] = t.Counts[c]
+		}
+	}
+	return out
+}
+
+// TimeMap returns the nonzero execution-time breakdown components in
+// virtual nanoseconds, keyed by their Component.String() names —
+// CountsMap's counterpart for the Figure 6 components.
+func (t Total) TimeMap() map[string]int64 {
+	out := make(map[string]int64)
+	for c := Component(0); int(c) < NumComponents; c++ {
+		if t.Time[c] != 0 {
+			out[c.String()] = t.Time[c]
+		}
+	}
+	return out
+}
+
+// Merge folds another Total into t: counts, times, data bytes, and
+// processor counts add; ExecNS takes the maximum (the runs are separate
+// clusters, so summing their virtual spans would be meaningless). The
+// live metrics registry uses it to fold completed runs into one
+// cluster-fleet view.
+func (t *Total) Merge(o Total) {
+	for i := range t.Counts {
+		t.Counts[i] += o.Counts[i]
+	}
+	for i := range t.Time {
+		t.Time[i] += o.Time[i]
+	}
+	t.DataBytes += o.DataBytes
+	t.Procs += o.Procs
+	if o.ExecNS > t.ExecNS {
+		t.ExecNS = o.ExecNS
+	}
+}
+
 // DataMB returns the total Memory Channel traffic in megabytes.
 func (t Total) DataMB() float64 { return float64(t.DataBytes) / (1 << 20) }
 

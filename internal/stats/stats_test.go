@@ -152,3 +152,50 @@ func TestTotalString(t *testing.T) {
 		}
 	}
 }
+
+func TestCountsAndTimeMaps(t *testing.T) {
+	var p Proc
+	p.Add(ReadFaults, 7)
+	p.Inc(Barriers)
+	p.Charge(User, 123)
+	p.Charge(Protocol, 45)
+	tot := Aggregate([]*Proc{&p}, []int64{100})
+
+	counts := tot.CountsMap()
+	if len(counts) != 2 || counts["ReadFaults"] != 7 || counts["Barriers"] != 1 {
+		t.Errorf("CountsMap = %v, want ReadFaults:7 Barriers:1 only", counts)
+	}
+	times := tot.TimeMap()
+	if len(times) != 2 || times["User"] != 123 || times["Protocol"] != 45 {
+		t.Errorf("TimeMap = %v, want User:123 Protocol:45 only", times)
+	}
+	// Zero totals yield empty (but non-nil) maps.
+	var zero Total
+	if m := zero.CountsMap(); len(m) != 0 || m == nil {
+		t.Errorf("zero CountsMap = %v", m)
+	}
+}
+
+func TestTotalMerge(t *testing.T) {
+	a := Total{ExecNS: 100, DataBytes: 5, Procs: 2}
+	a.Counts[ReadFaults] = 3
+	a.Time[User] = 10
+	b := Total{ExecNS: 40, DataBytes: 7, Procs: 4}
+	b.Counts[ReadFaults] = 4
+	b.Counts[Barriers] = 1
+	b.Time[Protocol] = 9
+
+	a.Merge(b)
+	if a.Counts[ReadFaults] != 7 || a.Counts[Barriers] != 1 {
+		t.Errorf("merged counts = %v", a.CountsMap())
+	}
+	if a.Time[User] != 10 || a.Time[Protocol] != 9 {
+		t.Errorf("merged times = %v", a.TimeMap())
+	}
+	if a.DataBytes != 12 || a.Procs != 6 {
+		t.Errorf("merged data/procs = %d/%d", a.DataBytes, a.Procs)
+	}
+	if a.ExecNS != 100 {
+		t.Errorf("merged ExecNS = %d, want max 100", a.ExecNS)
+	}
+}

@@ -54,7 +54,7 @@ type chromeFile struct {
 var argNames = map[Kind][2]string{
 	EvPageFetch:      {"bytes", "home"},
 	EvTwin:           {"words", ""},
-	EvDiffOut:        {"words", ""},
+	EvDiffOut:        {"words", "span"},
 	EvDiffIn:         {"words", ""},
 	EvNoticeSend:     {"to", ""},
 	EvShootdown:      {"victim", ""},

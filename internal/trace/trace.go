@@ -53,7 +53,7 @@ const (
 	EvWriteFault          // span: write access violation entry to resolution
 	EvPageFetch           // span: page transfer from the home node; Arg=bytes, Arg2=home protocol node
 	EvTwin                // instant: twin created; Arg=page words
-	EvDiffOut             // instant: outgoing diff flushed to the home; Arg=changed words
+	EvDiffOut             // instant: outgoing diff flushed to the home; Arg=changed words, Arg2=PackWordSpan of the changed offsets
 	EvDiffIn              // instant: incoming diff applied; Arg=changed words
 	EvNoticeSend          // instant: write notice posted; Arg=destination protocol node
 	EvNoticeApply         // instant: write notice consumed as an invalidation at an acquire
@@ -458,6 +458,27 @@ func (t *Tracer) Dropped() uint64 {
 		n += r.Dropped()
 	}
 	return n
+}
+
+// PackWordSpan packs an inclusive changed-word span [lo, hi] into one
+// event payload word (EvDiffOut's Arg2): lo in the upper half, hi+1 in
+// the lower. An empty span (lo < 0) packs to zero, which UnpackWordSpan
+// reports as not-ok, so a zero-filled legacy event decodes as "span
+// unknown" rather than as word 0.
+func PackWordSpan(lo, hi int) int64 {
+	if lo < 0 {
+		return 0
+	}
+	return int64(lo)<<32 | int64(hi+1)
+}
+
+// UnpackWordSpan decodes a PackWordSpan payload. ok is false when no
+// span was recorded.
+func UnpackWordSpan(v int64) (lo, hi int, ok bool) {
+	if v == 0 {
+		return 0, 0, false
+	}
+	return int(v >> 32), int(v&0xffffffff) - 1, true
 }
 
 // ParsePageList parses a comma-separated list of non-negative page
