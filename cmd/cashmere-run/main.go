@@ -24,6 +24,15 @@
 // labels, contended locks and flags, and barrier latency. -http serves
 // live /metrics (Prometheus text format), /status, and net/http/pprof
 // while the run executes. See docs/METRICS.md.
+//
+// -replay re-executes a model-checker counterexample (the JSON file the
+// checker or fuzzer writes on an invariant violation; see
+// docs/MODELCHECK.md) deterministically against a fresh cluster and
+// prints the step-by-step account with the recorded protocol events. It
+// exits 0 when the recorded violation reproduces and 1 when the replay
+// diverges (runs clean); all other flags are ignored:
+//
+//	cashmere-run -replay counterexample.json
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
 	"cashmere/internal/metrics"
+	"cashmere/internal/modelcheck"
 	"cashmere/internal/topology"
 	"cashmere/internal/trace"
 )
@@ -70,8 +80,13 @@ func main() {
 		tracePgs   = flag.String("trace-pages", "", "comma-separated page numbers to restrict tracing output to")
 		profOut    = flag.String("profile", "", `write a hot-page/hot-lock attribution report to this file ("-" for stdout)`)
 		httpAddr   = flag.String("http", "", `serve live /metrics, /status, and pprof on this address (e.g. ":6060")`)
+		replayPath = flag.String("replay", "", "replay a model-checker counterexample JSON file and exit")
 	)
 	flag.Parse()
+
+	if *replayPath != "" {
+		os.Exit(replay(*replayPath))
+	}
 
 	kind, ok := protocolByName(*protoName)
 	if !ok {
@@ -172,6 +187,32 @@ func main() {
 	fmt.Printf("sequential %.3fs, parallel %.3fs, speedup %.2f\n",
 		float64(seq)/1e9, res.ExecSeconds(), float64(seq)/float64(res.ExecNS))
 	fmt.Print(res.Total.String())
+}
+
+// replay re-executes a model-checker counterexample file and returns
+// the process exit code: 0 when the recorded violation reproduces, 1
+// when the schedule runs clean (a divergence — the protocol no longer
+// exhibits the bug, or the file is stale), 2 on a bad file.
+func replay(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run: -replay:", err)
+		return 2
+	}
+	cx, err := modelcheck.Decode(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run: -replay:", err)
+		return 2
+	}
+	v, err := modelcheck.Replay(cx, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run: -replay:", err)
+		return 2
+	}
+	if v == nil {
+		return 1
+	}
+	return 0
 }
 
 // writeOut writes through fn to the named file, or to stdout for "-".

@@ -44,14 +44,28 @@ type DiffOptions struct {
 }
 
 func (o *DiffOptions) fill() error {
+	// NaN compares false against everything, so an unvalidated NaN
+	// tolerance would make every "beyond tolerance" test fail and the
+	// gate silently pass all regressions; infinities likewise disable
+	// the gate. Both are flag-parsing accidents ("-tol NaN" parses), so
+	// reject them instead of guessing.
+	if math.IsNaN(o.RelTol) || math.IsInf(o.RelTol, 0) {
+		return fmt.Errorf("benchdiff: tolerance %g is not a finite number", o.RelTol)
+	}
 	if o.RelTol == 0 {
 		o.RelTol = 0.05
 	}
 	if o.RelTol < 0 {
 		return fmt.Errorf("benchdiff: negative tolerance %g", o.RelTol)
 	}
+	if math.IsNaN(o.CountTol) || math.IsInf(o.CountTol, 0) {
+		return fmt.Errorf("benchdiff: counter tolerance %g is not a finite number", o.CountTol)
+	}
 	if o.CountTol == 0 {
 		o.CountTol = o.RelTol
+	}
+	if o.CountTol < 0 {
+		return fmt.Errorf("benchdiff: negative counter tolerance %g", o.CountTol)
 	}
 	if o.CountSlack < 0 {
 		return fmt.Errorf("benchdiff: negative count slack %d", o.CountSlack)
@@ -178,11 +192,17 @@ func DiffResults(baseline, current *ResultsFile, opts DiffOptions) (*DiffReport,
 			if d <= slack {
 				return
 			}
+			// A zero baseline makes the relative change undefined (the
+			// naive new/old-1 divides by zero): a metric appearing from
+			// nothing is beyond any finite tolerance once it clears the
+			// absolute slack, so record it as an infinite delta —
+			// WriteText renders that case specially — rather than
+			// letting a 0/0 NaN slip past every comparison below.
 			var rel float64
 			if old != 0 {
 				rel = float64(new-old) / float64(old)
-			} else if new != 0 {
-				rel = math.Inf(1)
+			} else {
+				rel = math.Inf(1) // new != 0 here: d > slack >= 0
 			}
 			if math.Abs(rel) > tol {
 				rep.Regressions = append(rep.Regressions, DiffEntry{
@@ -238,7 +258,11 @@ func (r *DiffReport) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "benchdiff: %d metric(s) beyond tolerance across %d compared cells\n\n", len(regs), r.Compared)
 		fmt.Fprintf(w, "%-24s %-18s %14s %14s %8s\n", "cell", "metric", "baseline", "current", "delta")
 		for _, e := range regs {
-			fmt.Fprintf(w, "%-24s %-18s %14d %14d %+7.1f%%\n", e.Cell, e.Metric, e.Old, e.New, 100*e.Delta)
+			delta := fmt.Sprintf("%+7.1f%%", 100*e.Delta)
+			if math.IsInf(e.Delta, 0) {
+				delta = " from 0" // zero baseline: no finite relative change
+			}
+			fmt.Fprintf(w, "%-24s %-18s %14d %14d %s\n", e.Cell, e.Metric, e.Old, e.New, delta)
 		}
 	}
 	for _, m := range r.MissingCells {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -191,6 +192,91 @@ func TestDiffCellPattern(t *testing.T) {
 
 	if _, err := DiffResults(base, cur, DiffOptions{CellPattern: `[`}); err == nil {
 		t.Error("bad pattern should error")
+	}
+}
+
+func TestDiffZeroBaselineCell(t *testing.T) {
+	// A zero baseline makes the relative change undefined; the naive
+	// (new-old)/old would divide by zero. Equal zeros must pass, a value
+	// appearing from zero must fail with a well-defined infinite delta
+	// (rendered "from 0", not Inf-percent garbage), and the counter
+	// slack must still absorb small appearances.
+	base := diffFixture()
+	base.Cells[0].ExecNS = 0
+	base.Cells[0].DataBytes = 0
+	base.Cells[0].Counts["ReadFaults"] = 0
+	cur := copyResults(base)
+
+	rep, err := DiffResults(base, cur, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("identical zero cells must pass: %+v", rep.Regressions)
+	}
+
+	cur.Cells[0].ExecNS = 700
+	rep, err = DiffResults(base, cur, DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("exec_ns appearing from a zero baseline must fail the gate")
+	}
+	if len(rep.Regressions) != 1 {
+		t.Fatalf("regressions: %+v", rep.Regressions)
+	}
+	if e := rep.Regressions[0]; e.Metric != "exec_ns" || !math.IsInf(e.Delta, 1) {
+		t.Errorf("entry: %+v, want exec_ns with +Inf delta", e)
+	}
+	var b strings.Builder
+	rep.WriteText(&b)
+	if !strings.Contains(b.String(), "from 0") {
+		t.Errorf("report does not mark the zero baseline:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "Inf") {
+		t.Errorf("report renders a raw infinity:\n%s", b.String())
+	}
+
+	// A counter appearing from zero within the absolute slack is noise,
+	// beyond it a regression.
+	cur = copyResults(base)
+	cur.Cells[0].Counts["ReadFaults"] = 5
+	rep, err = DiffResults(base, cur, DiffOptions{CountSlack: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("appearance within slack must pass: %+v", rep.Regressions)
+	}
+	rep, err = DiffResults(base, cur, DiffOptions{CountSlack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("appearance beyond slack must fail")
+	}
+}
+
+func TestDiffRejectsNonFiniteTolerances(t *testing.T) {
+	// NaN compares false against everything, so a NaN tolerance would
+	// silently pass every regression; "-tol NaN" parses as a valid
+	// float flag. Non-finite tolerances must be rejected up front.
+	base := diffFixture()
+	cur := copyResults(base)
+	cur.Cells[0].ExecNS *= 10
+	for _, opts := range []DiffOptions{
+		{RelTol: math.NaN()},
+		{RelTol: math.Inf(1)},
+		{CountTol: math.NaN()},
+		{CountTol: math.Inf(-1)},
+		{RelTol: -0.05},
+		{CountTol: -0.25},
+		{CountSlack: -1},
+	} {
+		if _, err := DiffResults(base, cur, opts); err == nil {
+			t.Errorf("DiffResults accepted options %+v", opts)
+		}
 	}
 }
 

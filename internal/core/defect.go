@@ -1,0 +1,59 @@
+package core
+
+import "sync/atomic"
+
+// Historical protocol defects, deliberately re-introducible so the model
+// checker's own tests can prove each one still produces a replayable
+// counterexample (see docs/MODELCHECK.md). Every defect here was found
+// by the checker, fixed, and is guarded by a regression test; the
+// injection switches exist only for that validation and must stay off
+// everywhere else.
+//
+// The switches are process-global: they gate code running under node
+// mutexes, and the checker drives clusters from a single goroutine, so
+// plain atomics are enough.
+
+// Defect names accepted by SetInjectedDefectForTest.
+const (
+	// DefectKeepExclusiveTwin suppresses dropping the twin when a
+	// one-level protocol moves a page into exclusive mode at a release.
+	// The retained twin goes stale across exclusive-era writes and, after
+	// a break, misclassifies already-flushed words as unreleased local
+	// writes — a later release then pushes stale data over newer remote
+	// writes.
+	DefectKeepExclusiveTwin = "keep-exclusive-twin"
+	// DefectDropStaleMapNotice suppresses the self-notice queued when a
+	// fault maps a page copy that predates an already-drained write
+	// notice. Processors unmapped at drain time then never learn of the
+	// invalidation and can keep reading the stale copy past their next
+	// acquire.
+	DefectDropStaleMapNotice = "drop-stale-map-notice"
+	// DefectSkipExclusiveRepublish suppresses republishing the directory
+	// word when a write fault joins a page its node already holds
+	// exclusively. After a one-level release re-enters exclusive mode
+	// with only read-only mappings, the word then understates the node's
+	// access.
+	DefectSkipExclusiveRepublish = "skip-exclusive-republish"
+)
+
+var injectedDefects struct {
+	keepExclusiveTwin      atomic.Bool
+	dropStaleMapNotice     atomic.Bool
+	skipExclusiveRepublish atomic.Bool
+}
+
+// SetInjectedDefectForTest enables or disables one named defect. It
+// panics on an unknown name so a misspelled test cannot silently
+// validate nothing.
+func SetInjectedDefectForTest(name string, on bool) {
+	switch name {
+	case DefectKeepExclusiveTwin:
+		injectedDefects.keepExclusiveTwin.Store(on)
+	case DefectDropStaleMapNotice:
+		injectedDefects.dropStaleMapNotice.Store(on)
+	case DefectSkipExclusiveRepublish:
+		injectedDefects.skipExclusiveRepublish.Store(on)
+	default:
+		panic("core: unknown injected defect " + name)
+	}
+}

@@ -106,10 +106,21 @@ func (p *Proc) doWriteFault(page int) {
 
 		switch {
 		case alreadyExcl:
-			// Another local processor holds the page exclusively;
-			// intra-node hardware coherence lets us join for free.
+			// This node holds the page exclusively; intra-node hardware
+			// coherence lets us join for free. The directory word must
+			// still be republished when our mapping loosens the node's
+			// summary (the one-level protocols re-enter exclusive mode at
+			// a release after a break downgraded every local mapping to
+			// read-only, so the exclusive word can record ro) — read
+			// faults do the same when they raise the summary out of
+			// Invalid.
+			wasLoosest := n.vm.Loosest(page)
 			p.table.Set(page, directory.ReadWrite)
 			p.chargeProtocol(p.c.model.MProtect)
+			if wasLoosest != directory.ReadWrite && !injectedDefects.skipExclusiveRepublish.Load() {
+				e, _ := p.c.lay.Excl(own)
+				p.publishOwnWord(page, e)
+			}
 
 		case p.c.cfg.Protocol.TwoLevelFamily() && p.c.dir.Sharers(n.id, page, n.id) == 0:
 			// No other node is sharing: enter exclusive mode. The
@@ -238,6 +249,18 @@ func (p *Proc) ensureCurrentLocked(page int) bool {
 		p.fetchPage(page, homeProto)
 		p.applyUpdate(page, *frame)
 		meta.updateTS = n.lclock.Tick()
+	}
+	if meta.updateTS < meta.wnTS && !injectedDefects.dropStaleMapNotice.Load() {
+		// The copy being mapped predates a write notice the node has
+		// already drained. Release consistency lets this processor use
+		// it until its next acquire (its acquire timestamp precedes the
+		// notice), but the acquire must then invalidate the mapping —
+		// and the notice distribution only reached the processors
+		// mapped at drain time. Post the notice to our own second-level
+		// list so the invalidation is not lost.
+		p.trace(page, "stale map: queue self-notice (updTS=%d wnTS=%d)", meta.updateTS, meta.wnTS)
+		p.pwn.Add(page)
+		p.chargeProtocol(p.c.model.LLSC)
 	}
 	return true
 }

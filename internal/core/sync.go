@@ -252,9 +252,17 @@ func (p *Proc) flushPage(page int, releaseStart int64) {
 
 	// One-level protocols move a page with no other sharers into
 	// exclusive mode at a release (Section 2.6); it then stops
-	// participating in coherence transactions entirely.
+	// participating in coherence transactions entirely. Exclusive pages
+	// have no twin: the flush-update above left the twin equal to the
+	// master, and keeping it would let exclusive-mode writes silently
+	// diverge from it — after a later break (which flushes the frame but
+	// sees an existing twin) the stale twin would misclassify those
+	// already-flushed words as unreleased local writes.
 	if !c.cfg.Protocol.TwoLevelFamily() && !aliased &&
 		c.dir.Sharers(n.id, page, n.id) == 0 {
+		if !injectedDefects.keepExclusiveTwin.Load() {
+			n.dropTwin(page)
+		}
 		p.st.Inc(stats.ExclTransitions)
 		p.publishOwnWord(page, p.global)
 		return

@@ -115,20 +115,39 @@ func OutgoingRange(page, twin, home []int64) (n, lo, hi int) {
 // Incoming compares incoming (the fresh master copy) against twin and
 // writes the differences — the remote modifications — to both the
 // working page and the twin. Words the local node has modified (which
-// differ between working and twin but not between incoming and twin)
-// are preserved. It returns the number of words applied.
+// differ between working and twin) are preserved in the working page:
+// when a remote write and an unreleased local write collide on a word,
+// the remote value landed at the home first, so release order makes the
+// local write — flushed at this node's next release, against the twin
+// now holding the remote value — the last writer. Overwriting the local
+// word instead would destroy a write that was never flushed anywhere.
+// It returns the number of words applied to the twin.
 func Incoming(working, twin, incoming []int64) int {
+	clobber := clobberIncoming.Load()
 	n := 0
 	for i := range twin {
 		v := atomic.LoadInt64(&incoming[i])
-		if v != atomic.LoadInt64(&twin[i]) {
-			atomic.StoreInt64(&working[i], v)
+		t := atomic.LoadInt64(&twin[i])
+		if v != t {
+			if clobber || atomic.LoadInt64(&working[i]) == t {
+				atomic.StoreInt64(&working[i], v)
+			}
 			atomic.StoreInt64(&twin[i], v)
 			n++
 		}
 	}
 	return n
 }
+
+// clobberIncoming re-introduces the historical Incoming defect for model
+// checker validation: apply every remote difference to the working page
+// unconditionally, destroying unreleased local writes that collide with
+// a remote write on the same word. See docs/MODELCHECK.md.
+var clobberIncoming atomic.Bool
+
+// SetClobberIncomingForTest enables or disables the historical Incoming
+// defect. Test use only.
+func SetClobberIncomingForTest(on bool) { clobberIncoming.Store(on) }
 
 // Copy overwrites dst with src word-atomically (a whole-page transfer or
 // exclusive-mode flush). The slices must have equal length.

@@ -288,3 +288,98 @@ func TestRangeVariants(t *testing.T) {
 		t.Error("OutgoingRange modified the twin")
 	}
 }
+
+func TestIncomingWriteWriteOverlap(t *testing.T) {
+	// Write-write overlap resolution: when a remote write (already at
+	// the home) and an unreleased local write collide on a word, the
+	// local write must survive in the working page — release order
+	// makes it the last writer, flushed at this node's next release —
+	// while the twin adopts the remote value so the flush recognizes
+	// the word as locally modified.
+	cases := []struct {
+		name                    string
+		working, twin, incoming []int64
+		wantWorking, wantTwin   []int64
+		wantN                   int
+	}{
+		{
+			name:    "no changes",
+			working: page(1, 2), twin: page(1, 2), incoming: page(1, 2),
+			wantWorking: page(1, 2), wantTwin: page(1, 2), wantN: 0,
+		},
+		{
+			name:    "remote only",
+			working: page(1, 2), twin: page(1, 2), incoming: page(1, 9),
+			wantWorking: page(1, 9), wantTwin: page(1, 9), wantN: 1,
+		},
+		{
+			name:    "local only",
+			working: page(5, 2), twin: page(1, 2), incoming: page(1, 2),
+			wantWorking: page(5, 2), wantTwin: page(1, 2), wantN: 0,
+		},
+		{
+			name:    "overlap keeps local write",
+			working: page(5, 2), twin: page(1, 2), incoming: page(9, 2),
+			wantWorking: page(5, 2), wantTwin: page(9, 2), wantN: 1,
+		},
+		{
+			name:    "overlap where both wrote the same value",
+			working: page(9, 2), twin: page(1, 2), incoming: page(9, 2),
+			wantWorking: page(9, 2), wantTwin: page(9, 2), wantN: 1,
+		},
+		{
+			name:    "mixed words",
+			working: page(5, 2, 3, 40), twin: page(1, 2, 3, 4), incoming: page(9, 2, 33, 4),
+			wantWorking: page(5, 2, 33, 40), wantTwin: page(9, 2, 33, 4), wantN: 2,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			n := Incoming(tc.working, tc.twin, tc.incoming)
+			if n != tc.wantN {
+				t.Errorf("Incoming = %d, want %d", n, tc.wantN)
+			}
+			if !Equal(tc.working, tc.wantWorking) {
+				t.Errorf("working = %v, want %v", tc.working, tc.wantWorking)
+			}
+			if !Equal(tc.twin, tc.wantTwin) {
+				t.Errorf("twin = %v, want %v", tc.twin, tc.wantTwin)
+			}
+		})
+	}
+}
+
+func TestIncomingOverlapLastWriterWins(t *testing.T) {
+	// End-to-end ordering check for the overlap rule: home already has
+	// the remote value; after the incoming diff, this node's release
+	// must flush its local write over it (release-order last writer),
+	// and a second incoming diff elsewhere must then pick it up.
+	home := page(9) // remote write, flushed first
+	p := page(5)    // local unreleased write
+	tw := page(1)   // both diverged from the original 1
+
+	Incoming(p, tw, home)
+	if p[0] != 5 {
+		t.Fatalf("local write lost at incoming diff: %v", p)
+	}
+	if n := FlushUpdate(p, tw, home); n != 1 {
+		t.Fatalf("release flushed %d words, want 1", n)
+	}
+	if home[0] != 5 {
+		t.Fatalf("home = %v, want the local (release-order last) write 5", home)
+	}
+}
+
+func TestIncomingClobberDefect(t *testing.T) {
+	// The injected historical defect must restore the old behavior —
+	// remote value applied unconditionally — or the model checker's
+	// defect-reintroduction test would validate nothing.
+	SetClobberIncomingForTest(true)
+	defer SetClobberIncomingForTest(false)
+	p, tw, home := page(5), page(1), page(9)
+	Incoming(p, tw, home)
+	if p[0] != 9 {
+		t.Fatalf("defect injected but local write survived: %v", p)
+	}
+}

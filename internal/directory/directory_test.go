@@ -416,6 +416,160 @@ func TestGlobalWideLayoutLargeCluster(t *testing.T) {
 	}
 }
 
+func TestLayoutBoundaryPackedToWide(t *testing.T) {
+	// The packed layout's 6-bit fields hold proc+1, so id 62 is the last
+	// packed topology and 63 the first wide one. Auto selection must flip
+	// exactly there, and the first wide layout must still round-trip the
+	// id the packed layout just rejected.
+	atBound, err := ChooseLayout(LayoutAuto, 62)
+	if err != nil {
+		t.Fatalf("ChooseLayout(auto, 62): %v", err)
+	}
+	if atBound != Packed() {
+		t.Errorf("auto layout at 62 procs is not the packed layout")
+	}
+	past, err := ChooseLayout(LayoutAuto, 63)
+	if err != nil {
+		t.Fatalf("ChooseLayout(auto, 63): %v", err)
+	}
+	if !past.Wide() {
+		t.Fatal("auto layout at 63 procs is not wide")
+	}
+	if past.MaxProc() < 63 {
+		t.Errorf("first wide layout MaxProc = %d, cannot hold 63", past.MaxProc())
+	}
+	if p, ok := past.Excl(past.WithExcl(0, 63)); !ok || p != 63 {
+		t.Errorf("first wide layout: excl 63 roundtrip = %d,%v", p, ok)
+	}
+	if _, err := ChooseLayout(LayoutPacked, 63); err == nil {
+		t.Error("packed layout accepted proc id 63")
+	}
+}
+
+func TestPackedWideEquivalenceAtBoundary(t *testing.T) {
+	// At exactly the packed bound (62 procs) both layouts are legal; their
+	// raw encodings differ but every decoded field must agree for every
+	// word either can represent. A divergence here would mean the two
+	// directory formats disagree about protocol state on the same topology.
+	packed := Packed()
+	wide, err := ChooseLayout(LayoutWide, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, perm := range []Perm{Invalid, ReadOnly, ReadWrite} {
+		for _, excl := range []int{-1, 0, 1, 61, 62} {
+			for _, home := range []int{-1, 0, 62} {
+				for _, ft := range []bool{false, true} {
+					pw := packed.Make(perm, excl, home, ft)
+					ww := wide.Make(perm, excl, home, ft)
+					if packed.Perm(pw) != wide.Perm(ww) {
+						t.Errorf("perm disagrees at perm=%v excl=%d home=%d ft=%v", perm, excl, home, ft)
+					}
+					pe, pok := packed.Excl(pw)
+					we, wok := wide.Excl(ww)
+					if pok != wok || (pok && pe != we) {
+						t.Errorf("excl disagrees at perm=%v excl=%d home=%d ft=%v: packed %d,%v wide %d,%v",
+							perm, excl, home, ft, pe, pok, we, wok)
+					}
+					ph, pok := packed.Home(pw)
+					wh, wok := wide.Home(ww)
+					if pok != wok || (pok && ph != wh) {
+						t.Errorf("home disagrees at perm=%v excl=%d home=%d ft=%v: packed %d,%v wide %d,%v",
+							perm, excl, home, ft, ph, pok, wh, wok)
+					}
+					if packed.FirstTouched(pw) != wide.FirstTouched(ww) {
+						t.Errorf("first-touch disagrees at perm=%v excl=%d home=%d ft=%v", perm, excl, home, ft)
+					}
+					if packed.Format(pw) != wide.Format(ww) {
+						t.Errorf("Format disagrees: packed %q wide %q", packed.Format(pw), wide.Format(ww))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalPackedWideEquivalenceStoreLoad(t *testing.T) {
+	// The same Store sequence against a packed-backed and a wide-backed
+	// directory at the 62-proc boundary must leave every reader decoding
+	// identical protocol state from both.
+	wide, err := ChooseLayout(LayoutWide, 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := memchan.New(4, costs.Default())
+	gp := NewGlobal(net, Packed(), 3, 4, ident, false)
+	gw := NewGlobal(net, wide, 3, 4, ident, false)
+	stores := []struct {
+		writer, page int
+		perm         Perm
+		excl, home   int
+		ft           bool
+	}{
+		{0, 0, ReadOnly, -1, 62, false},
+		{3, 0, ReadWrite, 62, -1, false},
+		{1, 1, ReadWrite, -1, 0, true},
+		{2, 2, Invalid, -1, -1, false},
+		{3, 0, ReadOnly, -1, -1, false}, // overwrite drops the excl holder
+	}
+	for _, s := range stores {
+		gp.Store(s.writer, s.page, Packed().Make(s.perm, s.excl, s.home, s.ft), 0)
+		gw.Store(s.writer, s.page, wide.Make(s.perm, s.excl, s.home, s.ft), 0)
+	}
+	for reader := 0; reader < 4; reader++ {
+		for page := 0; page < 3; page++ {
+			for node := 0; node < 4; node++ {
+				pw := gp.Load(reader, page, node)
+				ww := gw.Load(reader, page, node)
+				if Packed().Format(pw) != wide.Format(ww) {
+					t.Errorf("reader %d page %d node %d: packed %q, wide %q",
+						reader, page, node, Packed().Format(pw), wide.Format(ww))
+				}
+			}
+			pn, pp, pok := gp.ExclHolder(reader, page)
+			wn, wp, wok := gw.ExclHolder(reader, page)
+			if pn != wn || pp != wp || pok != wok {
+				t.Errorf("reader %d page %d: ExclHolder packed %d,%d,%v wide %d,%d,%v",
+					reader, page, pn, pp, pok, wn, wp, wok)
+			}
+			if gp.Sharers(reader, page, -1) != gw.Sharers(reader, page, -1) {
+				t.Errorf("reader %d page %d: sharer counts disagree", reader, page)
+			}
+		}
+	}
+}
+
+func TestGlobalExclHolderOwnWideLayout(t *testing.T) {
+	// ExclHolderOwn under the wide layout, including a processor id the
+	// packed fields cannot encode and a word present only in the owner's
+	// doubled replica (broadcast not yet delivered).
+	lay, err := ChooseLayout(LayoutAuto, 511)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.Wide() {
+		t.Fatal("511-proc cluster chose the packed layout")
+	}
+	net := memchan.New(4, costs.Default())
+	g := NewGlobal(net, lay, 4, 4, ident, false)
+	if _, _, ok := g.ExclHolderOwn(1); ok {
+		t.Error("found exclusive holder on empty directory")
+	}
+	g.Store(2, 1, lay.Make(ReadWrite, 300, -1, false), 0)
+	if node, proc, ok := g.ExclHolderOwn(1); !ok || node != 2 || proc != 300 {
+		t.Errorf("ExclHolderOwn = %d,%d,%v want 2,300,true", node, proc, ok)
+	}
+	// Owner-replica-only word with a proc id past the packed bound.
+	w := lay.Make(ReadWrite, 511, -1, false)
+	g.region.Poke(3, g.off(2, 3), int64(w))
+	if node, proc, ok := g.ExclHolderOwn(2); !ok || node != 3 || proc != 511 {
+		t.Errorf("ExclHolderOwn(undelivered) = %d,%d,%v want 3,511,true", node, proc, ok)
+	}
+	if _, _, ok := g.ExclHolder(0, 2); ok {
+		t.Error("replica-0 scan saw a word whose broadcast was never delivered")
+	}
+}
+
 func TestLClock(t *testing.T) {
 	var c LClock
 	if c.Now() != 0 {

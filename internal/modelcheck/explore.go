@@ -1,0 +1,85 @@
+package modelcheck
+
+import "fmt"
+
+// Result summarizes an exploration.
+type Result struct {
+	// Runs is the number of complete schedules executed (leaves of the
+	// exploration tree for Explore, schedules for Fuzz).
+	Runs int64
+	// Steps is the total number of protocol transitions executed.
+	Steps int64
+	// Counterexample is non-nil if an invariant was violated.
+	Counterexample *Counterexample
+}
+
+// Explore exhaustively enumerates every schedule of enabled operations
+// up to depth steps over the opts small model, checking every invariant
+// after every step of every schedule. It stops at the first violation,
+// returning it as a replayable (pre-minimization) counterexample.
+//
+// The state space is explored by stateless re-execution: each prefix is
+// replayed from a fresh cluster, which costs depth extra work per node
+// but needs no snapshot/undo support from the protocol engine. Checking
+// after every step means exploring to depth d also covers every
+// schedule shorter than d.
+func Explore(opts Options, depth int) (Result, error) {
+	if depth < 1 {
+		return Result{}, fmt.Errorf("modelcheck: depth must be >= 1, got %d", depth)
+	}
+	var res Result
+	var dfs func(prefix []Op) (*Counterexample, error)
+	dfs = func(prefix []Op) (*Counterexample, error) {
+		r, err := newRun(opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range prefix {
+			res.Steps++
+			if v := r.apply(op); v != nil {
+				// Only the last op can fire: shorter prefixes were
+				// validated when they were leaves themselves.
+				return &Counterexample{
+					Options:   opts.withDefaults(),
+					Schedule:  append([]Op(nil), prefix...),
+					Violation: *v,
+				}, nil
+			}
+		}
+		res.Runs++
+		if len(prefix) == depth {
+			return nil, nil
+		}
+		for _, op := range r.enabled() {
+			cx, err := dfs(append(prefix[:len(prefix):len(prefix)], op))
+			if cx != nil || err != nil {
+				return cx, err
+			}
+		}
+		return nil, nil
+	}
+	cx, err := dfs(nil)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Counterexample = cx
+	return res, nil
+}
+
+// RunSchedule executes a scripted schedule against a fresh cluster,
+// checking every invariant after every step. It returns the first
+// violation (nil if the schedule runs clean). Scripted schedules reach
+// states deeper than the exhaustive bound; they may address any word,
+// and ops for processors blocked in a barrier rendezvous are no-ops.
+func RunSchedule(opts Options, schedule []Op) (*Violation, error) {
+	r, err := newRun(opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range schedule {
+		if v := r.apply(op); v != nil {
+			return v, nil
+		}
+	}
+	return nil, nil
+}

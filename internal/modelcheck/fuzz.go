@@ -1,0 +1,53 @@
+package modelcheck
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Fuzz executes schedules random schedules of up to maxLen enabled
+// operations each, seeded deterministically from seed (schedule i uses
+// seed+i, so a corpus can be replayed or sharded by seed range). Every
+// invariant is checked after every step; the first violation is
+// returned as a minimized, replayable counterexample.
+//
+// Random schedules reach protocol states far beyond the exhaustive
+// depth bound — long release/acquire chains, repeated barrier episodes,
+// exclusive-mode churn — trading completeness for depth.
+func Fuzz(opts Options, seed int64, schedules int, maxLen int) (Result, error) {
+	if maxLen < 1 {
+		return Result{}, fmt.Errorf("modelcheck: maxLen must be >= 1, got %d", maxLen)
+	}
+	var res Result
+	for i := 0; i < schedules; i++ {
+		s := seed + int64(i)
+		rng := rand.New(rand.NewSource(s))
+		r, err := newRun(opts, nil)
+		if err != nil {
+			return Result{}, err
+		}
+		var schedule []Op
+		for len(schedule) < maxLen {
+			en := r.enabled()
+			if len(en) == 0 {
+				break
+			}
+			op := en[rng.Intn(len(en))]
+			schedule = append(schedule, op)
+			res.Steps++
+			if v := r.apply(op); v != nil {
+				cx := &Counterexample{
+					Options:   opts.withDefaults(),
+					Seed:      s,
+					Schedule:  schedule,
+					Violation: *v,
+				}
+				cx = Minimize(cx)
+				res.Counterexample = cx
+				return res, nil
+			}
+		}
+		res.Runs++
+	}
+	return res, nil
+}

@@ -22,7 +22,9 @@
 // Global is safe for concurrent use by any mix of posters and a
 // drainer: each bin has its own mutex, Post(b, ...) contends only with
 // drains, and the single-writer-per-bin discipline means two Posts to
-// one bin never race at the protocol level. PerProc (and the NLE lists
+// one bin never race at the protocol level. Drain (and the Pending and
+// Snapshot read-side helpers) lock every bin before touching any, so a
+// drain is a single atomic snapshot with respect to concurrent posts. PerProc (and the NLE lists
 // built on it) is also internally locked, but its intended sharing is
 // narrower: remote processors Post under the owning node's big lock,
 // and only the owning processor Flushes. Locked (the global-lock
@@ -64,30 +66,63 @@ func (g *Global) Post(from, page int) {
 	b.mu.Unlock()
 }
 
-// Drain removes and returns all queued notices across all bins. The
-// result may contain duplicates.
+// Drain removes and returns all queued notices across all bins, as one
+// atomic snapshot: every bin is locked (in bin order) before any is
+// read, so concurrent posts either land entirely before the drain or
+// entirely after it. Draining bins one at a time instead would let a
+// drain in flight collect a notice from a high-numbered bin while
+// missing a causally-earlier one already posted to a lower-numbered bin
+// the drainer had passed — the acquirer would then apply an
+// invalidation without the one that preceded it. The result may contain
+// duplicates.
 func (g *Global) Drain() []int {
+	for i := range g.bins {
+		g.bins[i].mu.Lock()
+	}
 	var out []int
 	for i := range g.bins {
 		b := &g.bins[i]
-		b.mu.Lock()
 		out = append(out, b.pages...)
 		b.pages = b.pages[:0]
-		b.mu.Unlock()
+	}
+	for i := range g.bins {
+		g.bins[i].mu.Unlock()
 	}
 	return out
 }
 
-// Pending returns the total number of queued notices.
+// Pending returns the total number of queued notices, counted under the
+// same all-bins lock as Drain so the count is a consistent snapshot
+// rather than a sum over moving bins.
 func (g *Global) Pending() int {
+	for i := range g.bins {
+		g.bins[i].mu.Lock()
+	}
 	n := 0
 	for i := range g.bins {
-		b := &g.bins[i]
-		b.mu.Lock()
-		n += len(b.pages)
-		b.mu.Unlock()
+		n += len(g.bins[i].pages)
+	}
+	for i := range g.bins {
+		g.bins[i].mu.Unlock()
 	}
 	return n
+}
+
+// Snapshot returns a copy of the queued notices across all bins, in bin
+// order, without draining them, under the same all-bins lock as Drain.
+// Intended for verification harnesses.
+func (g *Global) Snapshot() []int {
+	for i := range g.bins {
+		g.bins[i].mu.Lock()
+	}
+	var out []int
+	for i := range g.bins {
+		out = append(out, g.bins[i].pages...)
+	}
+	for i := range g.bins {
+		g.bins[i].mu.Unlock()
+	}
+	return out
 }
 
 // PerProc is a per-processor notice list: a bitmap plus a queue under a
@@ -180,4 +215,16 @@ func (l *Locked) Drain(now int64, lockCost int64) ([]int, int64) {
 	l.pages = l.pages[:0]
 	l.lock.Release(now)
 	return out, now
+}
+
+// Pending returns the number of queued notices without charging
+// virtual time. Intended for verification harnesses.
+func (l *Locked) Pending() int { return len(l.pages) }
+
+// Snapshot returns a copy of the queued notices without draining them
+// or charging virtual time. Intended for verification harnesses.
+func (l *Locked) Snapshot() []int {
+	out := make([]int, len(l.pages))
+	copy(out, l.pages)
+	return out
 }

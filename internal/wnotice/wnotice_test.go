@@ -187,3 +187,89 @@ func TestLocked(t *testing.T) {
 		t.Errorf("second Drain = %v", pages)
 	}
 }
+
+func TestDrainIsAtomicSnapshot(t *testing.T) {
+	// A poster emits causally-ordered pairs: notice 2k to bin 0, then
+	// notice 2k+1 to bin 1. A concurrent drainer must never observe the
+	// second of a pair without having observed the first — that would
+	// mean the drain split an in-flight post sequence, collecting a
+	// causally-later notice while leaving its predecessor queued in a
+	// lower-numbered bin. The pre-fix bin-at-a-time drain fails this.
+	const pairs = 20000
+	g := NewGlobal(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; k < pairs; k++ {
+			g.Post(0, 2*k)
+			g.Post(1, 2*k+1)
+		}
+	}()
+
+	seen := make([]bool, 2*pairs)
+	record := func(batch []int) {
+		for _, page := range batch {
+			if page%2 == 1 && !seen[page-1] {
+				t.Fatalf("drain returned notice %d before its causal predecessor %d", page, page-1)
+			}
+			seen[page] = true
+		}
+	}
+	for {
+		select {
+		case <-done:
+			record(g.Drain())
+			for page, ok := range seen {
+				if !ok {
+					t.Fatalf("notice %d lost", page)
+				}
+			}
+			return
+		default:
+			record(g.Drain())
+		}
+	}
+}
+
+func TestSnapshotIsAtomic(t *testing.T) {
+	// Same causal-pair discipline as TestDrainIsAtomicSnapshot, checked
+	// on the non-draining read side: notice 2k goes to bin 0 strictly
+	// before 2k+1 goes to bin 1, so any single Snapshot containing 2k+1
+	// must also contain 2k. The pre-fix bin-at-a-time walk could read
+	// bin 0 before the pair was posted and bin 1 after, returning the
+	// later notice without its predecessor.
+	const pairs = 10000
+	g := NewGlobal(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; k < pairs; k++ {
+			g.Post(0, 2*k)
+			g.Post(1, 2*k+1)
+		}
+	}()
+	check := func() {
+		snap := g.Snapshot()
+		have := make(map[int]bool, len(snap))
+		for _, page := range snap {
+			have[page] = true
+		}
+		for _, page := range snap {
+			if page%2 == 1 && !have[page-1] {
+				t.Fatalf("snapshot holds notice %d but not its causal predecessor %d", page, page-1)
+			}
+		}
+	}
+	for {
+		select {
+		case <-done:
+			check()
+			if n := g.Pending(); n != 2*pairs {
+				t.Fatalf("Pending = %d after all posts, want %d", n, 2*pairs)
+			}
+			return
+		default:
+			check()
+		}
+	}
+}
