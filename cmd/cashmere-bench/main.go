@@ -6,7 +6,8 @@
 //	cashmere-bench -all            # everything (minutes at default sizes)
 //	cashmere-bench -table 3       # one table (1, 2, 3, or "costs")
 //	cashmere-bench -figure 7      # one figure (6 or 7)
-//	cashmere-bench -ablation shootdown|lockfree
+//	cashmere-bench -ablation shootdown|lockfree|adaptive
+//	cashmere-bench -quick -adaptive   # adaptive-policy ablation at 16:4
 //	cashmere-bench -scaling 128:4  # scale-out sweep, 1-32 nodes at 4 procs/node
 //	cashmere-bench -quick -all    # tiny problem sizes (seconds)
 //	cashmere-bench -all -j 8      # eight experiment cells in parallel
@@ -38,53 +39,51 @@ import (
 	"runtime/pprof"
 
 	"cashmere/internal/bench"
+	"cashmere/internal/cli"
 	"cashmere/internal/metrics"
 	"cashmere/internal/trace"
 )
 
 func main() {
-	var (
-		quick    = flag.Bool("quick", false, "use tiny problem sizes")
-		all      = flag.Bool("all", false, "run every table, figure, and ablation")
-		table    = flag.String("table", "", `table to regenerate: "1", "2", "3", or "costs"`)
-		figure   = flag.String("figure", "", `figure to regenerate: "6" or "7"`)
-		ablation = flag.String("ablation", "", `ablation to run: "shootdown" or "lockfree"`)
-		scaling  = flag.String("scaling", "", `scale-out sweep up to this topology ("procs:procsPerNode", e.g. 128:4 sweeps 1-32 nodes)`)
-		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "experiment cells to execute in parallel")
-		jsonPath = flag.String("json", "", "write machine-readable per-cell results to this file")
-		timeout  = flag.Duration("timeout", 0, "per-cell wall-clock timeout (0 = none)")
-		progress = flag.Bool("progress", stderrIsTerminal(), "live progress line on stderr")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the -trace-cell run to this file")
-		traceCel = flag.String("trace-cell", "SOR/2L/32:4", "cell to trace, as app/variant/topology")
-		tracePgs = flag.String("trace-pages", "", "comma-separated page numbers for per-page trace notes")
-		httpAddr = flag.String("http", "", `serve live /metrics, /status, and pprof on this address (e.g. ":6060")`)
-		profOut  = flag.String("profile", "", `write the -trace-cell run's hot-page/hot-lock report to this file ("-" = stdout)`)
-	)
+	var o cli.BenchOptions
+	o.Register(flag.CommandLine)
 	flag.Parse()
+	// Resolve the host-dependent sentinels internal/cli keeps stable for
+	// the generated flag documentation.
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	progressSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "progress" {
+			progressSet = true
+		}
+	})
+	if !progressSet {
+		o.Progress = stderrIsTerminal()
+	}
 
-	stopProfiles := startProfiles(*cpuProf, *memProf)
+	stopProfiles := startProfiles(o.CPUProfile, o.MemProfile)
 	exit := func(code int) {
 		stopProfiles()
 		os.Exit(code)
 	}
 
-	s := bench.NewSuite(*quick)
-	s.SetWorkers(*workers)
-	s.SetTimeout(*timeout)
-	if *progress {
+	s := bench.NewSuite(o.Quick)
+	s.SetWorkers(o.Workers)
+	s.SetTimeout(o.Timeout)
+	if o.Progress {
 		s.SetProgress(os.Stderr)
 	}
 	var sink *bench.JSONSink
-	if *jsonPath != "" {
-		sink = bench.NewJSONSink(*quick, *workers)
+	if o.JSON != "" {
+		sink = bench.NewJSONSink(o.Quick, o.Workers)
 		s.SetJSON(sink)
 	}
-	if *httpAddr != "" {
+	if o.HTTP != "" {
 		reg := metrics.NewRegistry()
 		s.SetMetrics(reg)
-		srv, err := reg.Start(*httpAddr)
+		srv, err := reg.Start(o.HTTP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cashmere-bench: -http:", err)
 			exit(2)
@@ -92,11 +91,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cashmere-bench: serving metrics on http://%s/\n", srv.Addr)
 		defer srv.Close()
 	}
-	if *traceOut != "" || *profOut != "" {
+	if o.Trace != "" || o.Profile != "" {
 		var pages map[int]bool
-		if *tracePgs != "" {
+		if o.TracePages != "" {
 			var err error
-			pages, err = trace.ParsePageList(*tracePgs)
+			pages, err = trace.ParsePageList(o.TracePages)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cashmere-bench: -trace-pages:", err)
 				exit(2)
@@ -105,7 +104,7 @@ func main() {
 		// Validate the cell label and normalize its topology through the
 		// shared grammar, so "-trace-cell SOR/2L/32:4" and every other
 		// topology-bearing flag reject bad input with the same message.
-		label, _, err := bench.ParseCell(*traceCel)
+		label, _, err := bench.ParseCell(o.TraceCell)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cashmere-bench: -trace-cell:", err)
 			exit(2)
@@ -125,53 +124,58 @@ func main() {
 	ran := false
 	sep := func() { fmt.Fprintln(w) }
 
-	if *all {
+	if o.All {
 		// Schedule the whole evaluation up front so later sections
 		// compute while earlier ones render.
 		s.PrefetchAll()
 	}
-	if *all || *table == "costs" {
+	if o.All || o.Table == "costs" {
 		bench.BasicCosts(w)
 		sep()
 		ran = true
 	}
-	if *all || *table == "1" {
+	if o.All || o.Table == "1" {
 		fail(bench.Table1(w))
 		sep()
 		ran = true
 	}
-	if *all || *table == "2" {
+	if o.All || o.Table == "2" {
 		s.Table2(w)
 		sep()
 		ran = true
 	}
-	if *all || *table == "3" {
+	if o.All || o.Table == "3" {
 		fail(s.Table3(w))
 		sep()
 		ran = true
 	}
-	if *all || *figure == "6" {
+	if o.All || o.Figure == "6" {
 		fail(s.Figure6(w))
 		sep()
 		ran = true
 	}
-	if *all || *figure == "7" {
+	if o.All || o.Figure == "7" {
 		fail(s.Figure7(w))
 		sep()
 		ran = true
 	}
-	if *all || *ablation == "shootdown" {
+	if o.All || o.Ablation == "shootdown" {
 		fail(s.AblationShootdown(w))
 		sep()
 		ran = true
 	}
-	if *all || *ablation == "lockfree" {
+	if o.All || o.Ablation == "lockfree" {
 		fail(s.AblationLockFree(w))
 		sep()
 		ran = true
 	}
-	if *scaling != "" {
-		top, err := bench.ParseTopology(*scaling)
+	if o.Adaptive || o.Ablation == "adaptive" {
+		fail(s.AblationAdaptive(w, bench.AdaptiveTopology(o.Quick)))
+		sep()
+		ran = true
+	}
+	if o.Scaling != "" {
+		top, err := bench.ParseTopology(o.Scaling)
 		if err != nil {
 			s.Close()
 			fmt.Fprintln(os.Stderr, "cashmere-bench: -scaling:", err)
@@ -188,7 +192,7 @@ func main() {
 	}
 
 	if sink != nil {
-		f, err := os.Create(*jsonPath)
+		f, err := os.Create(o.JSON)
 		fail(err)
 		_, err = sink.WriteTo(f)
 		if cerr := f.Close(); err == nil {
@@ -197,14 +201,14 @@ func main() {
 		fail(err)
 	}
 
-	if *traceOut != "" || *profOut != "" {
+	if o.Trace != "" || o.Profile != "" {
 		tr := s.TraceResult()
 		if tr == nil {
-			fmt.Fprintf(os.Stderr, "cashmere-bench: -trace/-profile: cell %s was not executed by the selected sections\n", *traceCel)
+			fmt.Fprintf(os.Stderr, "cashmere-bench: -trace/-profile: cell %s was not executed by the selected sections\n", o.TraceCell)
 			exit(1)
 		}
-		if *traceOut != "" {
-			f, err := os.Create(*traceOut)
+		if o.Trace != "" {
+			f, err := os.Create(o.Trace)
 			fail(err)
 			err = trace.WriteChrome(f, tr, trace.ChromeOptions{})
 			if cerr := f.Close(); err == nil {
@@ -212,15 +216,15 @@ func main() {
 			}
 			fail(err)
 		}
-		if *profOut != "" {
+		if o.Profile != "" {
 			prof := metrics.BuildProfile(tr, 20)
 			out := os.Stdout
-			if *profOut != "-" {
-				f, err := os.Create(*profOut)
+			if o.Profile != "-" {
+				f, err := os.Create(o.Profile)
 				fail(err)
 				out = f
 			}
-			fmt.Fprintf(out, "hot-page/hot-lock profile of %s\n\n", *traceCel)
+			fmt.Fprintf(out, "hot-page/hot-lock profile of %s\n\n", o.TraceCell)
 			fail(prof.WriteText(out))
 			if out != os.Stdout {
 				fail(out.Close())

@@ -7,6 +7,7 @@
 //	cashmere-run -app Gauss -protocol 2L -nodes 8 -ppn 4
 //	cashmere-run -app SOR -topology 128:4 -fabric switched  # beyond the paper's 8x4
 //	cashmere-run -app Barnes -protocol 1LD -homeopt -quick
+//	cashmere-run -app Em3d -adaptive       # per-page adaptive policy
 //	cashmere-run -app SOR -quick -trace sor.json        # Perfetto trace
 //	cashmere-run -app SOR -quick -trace-timeline - -trace-pages 0,3
 //	cashmere-run -app SOR -profile -                    # hot-page report
@@ -41,10 +42,12 @@ import (
 	"os"
 
 	"cashmere/internal/apps"
+	"cashmere/internal/cli"
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
 	"cashmere/internal/metrics"
 	"cashmere/internal/modelcheck"
+	"cashmere/internal/policy"
 	"cashmere/internal/topology"
 	"cashmere/internal/trace"
 )
@@ -64,98 +67,86 @@ func protocolByName(name string) (core.Kind, bool) {
 }
 
 func main() {
-	var (
-		appName    = flag.String("app", "SOR", "application: SOR, LU, Water, TSP, Gauss, Ilink, Em3d, Barnes")
-		protoName  = flag.String("protocol", "2L", "protocol: 2L, 2LS, 1LD, 1L")
-		nodes      = flag.Int("nodes", 8, "SMP nodes")
-		ppn        = flag.Int("ppn", 4, "processors per node")
-		topoFlag   = flag.String("topology", "", `cluster topology as "procs:procsPerNode", e.g. 128:4 (overrides -nodes/-ppn)`)
-		fabric     = flag.String("fabric", "serial", `interconnect fabric: "serial" (the paper's hub) or "switched" (crossbar)`)
-		homeOpt    = flag.Bool("homeopt", false, "home-node optimization (one-level protocols)")
-		lockBased  = flag.Bool("lockbased", false, "lock-based protocol metadata (Section 3.3.5 ablation)")
-		interrupts = flag.Bool("interrupts", false, "interrupt-based messaging instead of polling")
-		quick      = flag.Bool("quick", false, "tiny problem size")
-		traceOut   = flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this file")
-		traceTL    = flag.String("trace-timeline", "", `write a per-page event timeline to this file ("-" for stdout)`)
-		tracePgs   = flag.String("trace-pages", "", "comma-separated page numbers to restrict tracing output to")
-		profOut    = flag.String("profile", "", `write a hot-page/hot-lock attribution report to this file ("-" for stdout)`)
-		httpAddr   = flag.String("http", "", `serve live /metrics, /status, and pprof on this address (e.g. ":6060")`)
-		replayPath = flag.String("replay", "", "replay a model-checker counterexample JSON file and exit")
-	)
+	var o cli.RunOptions
+	o.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *replayPath != "" {
-		os.Exit(replay(*replayPath))
+	if o.Replay != "" {
+		os.Exit(replay(o.Replay))
 	}
 
-	kind, ok := protocolByName(*protoName)
+	kind, ok := protocolByName(o.Protocol)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "cashmere-run: unknown protocol %q\n", *protoName)
+		fmt.Fprintf(os.Stderr, "cashmere-run: unknown protocol %q\n", o.Protocol)
 		os.Exit(2)
 	}
-	spec := topology.New(*nodes, *ppn)
-	if *topoFlag != "" {
+	spec := topology.New(o.Nodes, o.PPN)
+	if o.Topology != "" {
 		var err error
-		spec, err = topology.Parse(*topoFlag)
+		spec, err = topology.Parse(o.Topology)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cashmere-run: -topology:", err)
 			os.Exit(2)
 		}
-		*nodes, *ppn = spec.Nodes, spec.ProcsPerNode
+		o.Nodes, o.PPN = spec.Nodes, spec.ProcsPerNode
 	}
-	fab, err := costs.ParseFabric(*fabric)
+	fab, err := costs.ParseFabric(o.Fabric)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cashmere-run: -fabric:", err)
 		os.Exit(2)
 	}
 	spec.Interconnect.Fabric = fab
 	set := apps.All()
-	if *quick {
+	if o.Quick {
 		set = apps.Small()
 	}
 	var app apps.App
 	for _, a := range set {
-		if a.Name() == *appName {
+		if a.Name() == o.App {
 			app = a
 		}
 	}
 	if app == nil {
-		fmt.Fprintf(os.Stderr, "cashmere-run: unknown application %q\n", *appName)
+		fmt.Fprintf(os.Stderr, "cashmere-run: unknown application %q\n", o.App)
 		os.Exit(2)
 	}
 
 	cfg := core.Config{
 		Topology:      spec,
 		Protocol:      kind,
-		HomeOpt:       *homeOpt,
-		LockBasedMeta: *lockBased,
-		UseInterrupts: *interrupts,
+		HomeOpt:       o.HomeOpt,
+		LockBasedMeta: o.LockBased,
+		UseInterrupts: o.Interrupts,
 	}
 	var tr *trace.Tracer
-	if *traceOut != "" || *traceTL != "" || *profOut != "" {
+	if o.Trace != "" || o.TraceTL != "" || o.Profile != "" {
 		var pages map[int]bool
-		if *tracePgs != "" {
+		if o.TracePages != "" {
 			var err error
-			pages, err = trace.ParsePageList(*tracePgs)
+			pages, err = trace.ParsePageList(o.TracePages)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "cashmere-run: -trace-pages:", err)
 				os.Exit(2)
 			}
 		}
-		tr = trace.New(trace.Config{Procs: *nodes * *ppn, Links: *nodes, Pages: pages})
+		tr = trace.New(trace.Config{Procs: o.Nodes * o.PPN, Links: o.Nodes, Pages: pages})
 		cfg.Trace = tr
 	}
 	var detach func()
-	if *httpAddr != "" {
+	if o.HTTP != "" {
 		reg := metrics.NewRegistry()
 		cfg.Observer = func(c *core.Cluster) { detach = reg.Attach(c) }
-		srv, err := reg.Start(*httpAddr)
+		srv, err := reg.Start(o.HTTP)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cashmere-run: -http:", err)
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "cashmere-run: serving metrics on http://%s/\n", srv.Addr)
 		defer srv.Close()
+	}
+	if o.Adaptive {
+		// Wire chains any Observer installed above (e.g. -http metrics).
+		policy.Wire(&cfg, policy.Defaults())
 	}
 	res, err := apps.Run(app, cfg)
 	if detach != nil {
@@ -165,24 +156,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cashmere-run:", err)
 		os.Exit(1)
 	}
-	if *traceOut != "" {
-		writeOut(*traceOut, func(f *os.File) error {
+	if o.Trace != "" {
+		writeOut(o.Trace, func(f *os.File) error {
 			return trace.WriteChrome(f, tr, trace.ChromeOptions{})
 		})
 	}
-	if *traceTL != "" {
-		writeOut(*traceTL, func(f *os.File) error {
+	if o.TraceTL != "" {
+		writeOut(o.TraceTL, func(f *os.File) error {
 			return trace.WritePageTimeline(f, tr, nil)
 		})
 	}
-	if *profOut != "" {
+	if o.Profile != "" {
 		prof := metrics.BuildProfile(tr, 20)
-		writeOut(*profOut, func(f *os.File) error {
+		writeOut(o.Profile, func(f *os.File) error {
 			return prof.WriteText(f)
 		})
 	}
 	seq := app.SeqTime(costs.Default())
-	fmt.Printf("%s on %d:%d under %s — %s\n", app.Name(), *nodes**ppn, *ppn, kind, app.DataSet())
+	protoLabel := kind.String()
+	if o.Adaptive {
+		protoLabel += "+A"
+	}
+	fmt.Printf("%s on %d:%d under %s — %s\n", app.Name(), o.Nodes*o.PPN, o.PPN, protoLabel, app.DataSet())
 	fmt.Printf("verified against sequential reference: OK\n")
 	fmt.Printf("sequential %.3fs, parallel %.3fs, speedup %.2f\n",
 		float64(seq)/1e9, res.ExecSeconds(), float64(seq)/float64(res.ExecNS))

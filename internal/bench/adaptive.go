@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"io"
+
+	"cashmere/internal/core"
+	"cashmere/internal/stats"
+)
+
+// AdaptiveVariant is the adaptive ablation column: the 2L protocol with
+// the internal/policy engine re-deciding per-page coherence policy at
+// every barrier epoch.
+var AdaptiveVariant = Variant{Kind: core.TwoLevel, Adaptive: true}
+
+// AdaptiveTopology returns the topology the adaptive ablation runs at:
+// 16:4 for quick runs (the CI smoke lane) and the paper's full 32:4
+// cluster otherwise.
+func AdaptiveTopology(quick bool) Topology {
+	if quick {
+		return Topology{Nodes: 4, PPN: 4}
+	}
+	return FullCluster
+}
+
+// AblationAdaptive renders the adaptive-policy ablation: every
+// application under the four fixed protocols and under 2L+A (2L with
+// the adaptive engine), with the win or loss of adaptive against the
+// best fixed column. docs/ADAPTIVE.md explains how to read the table;
+// the committed BENCH_adaptive.json records the quick 16:4 cells.
+func (s *Suite) AblationAdaptive(w io.Writer, topo Topology) error {
+	variants := append(append([]Variant(nil), FourProtocols...), AdaptiveVariant)
+	s.Prefetch(variants, []Topology{topo})
+	line(w, "Adaptive per-page policy vs fixed protocols at %s", topo.Label())
+	line(w, "%-8s %9s %9s %9s %9s %9s %10s %9s  %s", "App",
+		"2L (s)", "2LS (s)", "1LD (s)", "1L (s)", "2L+A (s)", "best", "vs best", "policy actions")
+	for _, name := range AppNames() {
+		secs := make([]float64, len(variants))
+		var adaptive core.Result
+		failed := false
+		for i, v := range variants {
+			res, err := s.Run(name, v, topo)
+			if err != nil {
+				failed = true
+				continue
+			}
+			secs[i] = res.ExecSeconds()
+			if v.Adaptive {
+				adaptive = res
+			}
+		}
+		if failed {
+			line(w, "%-8s %9s", name, "FAIL")
+			continue
+		}
+		best, bestLabel := secs[0], variants[0].Label()
+		for i := 1; i < len(FourProtocols); i++ {
+			if secs[i] < best {
+				best, bestLabel = secs[i], variants[i].Label()
+			}
+		}
+		win := 100 * (1 - secs[len(secs)-1]/best)
+		line(w, "%-8s %9.3f %9.3f %9.3f %9.3f %9.3f %10s %8.1f%%  mode=%d upd=%d repl=%d mig=%d",
+			name, secs[0], secs[1], secs[2], secs[3], secs[4], bestLabel, win,
+			adaptive.Counts[stats.PolicyModeChanges],
+			adaptive.Counts[stats.PolicyUpdates],
+			adaptive.Counts[stats.PolicyReplications],
+			adaptive.Counts[stats.HomeMigrations])
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAdaptiveBaselineShowsWins pins the claim the committed
+// BENCH_adaptive.json makes: at the quick 16:4 configuration, 2L with
+// the adaptive policy engine beats the best fixed protocol on at least
+// two applications. The CI smoke lane regenerates these cells and
+// gates them with cashmere-benchdiff against the same file, so the
+// committed numbers cannot drift from the code.
+func TestAdaptiveBaselineShowsWins(t *testing.T) {
+	rf, err := LoadResults("../../BENCH_adaptive.json")
+	if err != nil {
+		t.Fatalf("loading committed adaptive baseline: %v", err)
+	}
+	fixed := make(map[string]bool)
+	for _, v := range FourProtocols {
+		fixed[v.Label()] = true
+	}
+	adaptiveLabel := AdaptiveVariant.Label()
+
+	bestFixed := make(map[string]float64)
+	adaptive := make(map[string]float64)
+	for _, c := range rf.Cells {
+		if c.Error != "" {
+			t.Errorf("committed baseline contains failed cell %s/%s/%s: %s",
+				c.App, c.Variant, c.Topology, c.Error)
+			continue
+		}
+		switch {
+		case fixed[c.Variant]:
+			if cur, ok := bestFixed[c.App]; !ok || float64(c.ExecNS) < cur {
+				bestFixed[c.App] = float64(c.ExecNS)
+			}
+		case c.Variant == adaptiveLabel:
+			adaptive[c.App] = float64(c.ExecNS)
+		}
+	}
+	if len(adaptive) == 0 {
+		t.Fatalf("no %s cells in committed baseline", adaptiveLabel)
+	}
+
+	wins := 0
+	for app, a := range adaptive {
+		best, ok := bestFixed[app]
+		if !ok || math.IsNaN(best) {
+			t.Errorf("app %s has an adaptive cell but no fixed-protocol cells", app)
+			continue
+		}
+		if a < best {
+			wins++
+			t.Logf("%s: %s %.3fs beats best fixed %.3fs (%.1f%%)",
+				app, adaptiveLabel, a/1e9, best/1e9, 100*(1-a/best))
+		}
+	}
+	if wins < 2 {
+		t.Errorf("adaptive beats the best fixed protocol on %d app(s), want >= 2", wins)
+	}
+}

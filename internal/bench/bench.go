@@ -24,6 +24,7 @@ import (
 	"cashmere/internal/core"
 	"cashmere/internal/costs"
 	"cashmere/internal/metrics"
+	"cashmere/internal/policy"
 	"cashmere/internal/stats"
 	"cashmere/internal/trace"
 )
@@ -34,6 +35,11 @@ type Variant struct {
 	HomeOpt    bool
 	LockBased  bool
 	Interrupts bool
+
+	// Adaptive wires the internal/policy engine: the page-mode table
+	// starts at the variant's base protocol and the engine re-decides
+	// per-page policy at every barrier epoch (see docs/ADAPTIVE.md).
+	Adaptive bool
 }
 
 // Label returns the paper's abbreviation for the variant.
@@ -47,6 +53,9 @@ func (v Variant) Label() string {
 	}
 	if v.Interrupts {
 		s += "+intr"
+	}
+	if v.Adaptive {
+		s += "+A"
 	}
 	return s
 }
@@ -281,6 +290,10 @@ func (s *Suite) execute(name string, v Variant, topo Topology) (core.Result, err
 	var detach func()
 	if s.metrics != nil {
 		cfg.Observer = func(c *core.Cluster) { detach = s.metrics.Attach(c) }
+	}
+	if v.Adaptive {
+		// Wire chains the Observer above, so metrics still attach.
+		policy.Wire(&cfg, policy.Defaults())
 	}
 	res, err := apps.Run(app, cfg)
 	if detach != nil {

@@ -152,6 +152,17 @@ type Config struct {
 	// cluster; it charges no virtual time, so observed and unobserved
 	// runs produce bit-identical statistics.
 	Observer func(*Cluster)
+
+	// Adaptive, when non-nil, attaches an adaptive per-page coherence
+	// policy engine (internal/policy): the protocol feeds it fault and
+	// flush events, and at every barrier global processor 0 runs a
+	// decision epoch that may switch pages between write-invalidate,
+	// write-update, and broadcast modes, migrate homes, and replicate
+	// pages (see policy.go and docs/ADAPTIVE.md). Nil — the default —
+	// keeps every page in write-invalidate mode and leaves the
+	// protocol's virtual-time behavior bit-identical to a build without
+	// the policy layer.
+	Adaptive PolicyController
 }
 
 func (c *Config) fill() error {
@@ -300,6 +311,22 @@ type Cluster struct {
 	homeNode []int
 	homeProc []int
 
+	// pageModes holds each page's adaptive coherence mode (PageMode
+	// values; all ModeInvalidate unless a policy engine or the
+	// verification harness switches a page). Read lock-free on the
+	// fault and acquire paths.
+	pageModes []atomic.Int32
+
+	// decideBar is the decision-epoch gate: with Config.Adaptive set,
+	// every barrier ends with this second rendezvous, entered by
+	// processor 0 only after running the policy engine's decision so
+	// the release time charges the decision work to everyone.
+	decideBar *sim.Rendezvous
+
+	// policyEpoch counts decision epochs; touched only by global
+	// processor 0 inside the decision gate.
+	policyEpoch int
+
 	// initFlag is raised by EndInit: first-touch relocation is enabled
 	// only after program initialization (Section 2.3).
 	initFlag atomic.Bool
@@ -375,6 +402,7 @@ func New(cfg Config) (*Cluster, error) {
 	for p := range c.masters {
 		c.masters[p] = make([]int64, cfg.PageWords)
 	}
+	c.pageModes = make([]atomic.Int32, c.pages)
 
 	c.homeNode = make([]int, c.superpages)
 	c.homeProc = make([]int, c.superpages)
@@ -448,6 +476,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.flags[i] = msync.NewFlag(c.net)
 	}
 	c.bar = msync.NewBarrier(total, c.model.Barrier(total, cfg.Protocol.TwoLevelFamily()))
+	c.decideBar = sim.NewRendezvous(total)
 	if cfg.Observer != nil {
 		cfg.Observer(c)
 	}

@@ -35,6 +35,9 @@ func (p *Proc) doReadFault(page int) {
 	p.trace(page, "readFault")
 	p.st.Inc(stats.ReadFaults)
 	p.chargeProtocol(p.c.model.PageFault)
+	if ap := p.c.cfg.Adaptive; ap != nil {
+		ap.NoteReadFault(page, p.global)
+	}
 	p.drainDoubled()
 	p.maybeFirstTouch(page)
 
@@ -83,6 +86,10 @@ func (p *Proc) doWriteFault(page int) {
 	p.trace(page, "writeFault")
 	p.st.Inc(stats.WriteFaults)
 	p.chargeProtocol(p.c.model.PageFault)
+	if ap := p.c.cfg.Adaptive; ap != nil {
+		ap.NoteWriteFault(page, p.global)
+	}
+	p.maybeDemoteBroadcast(page)
 	p.drainDoubled()
 	p.maybeFirstTouch(page)
 

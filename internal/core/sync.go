@@ -94,6 +94,13 @@ func (p *Proc) Barrier() {
 	released := c.bar.Wait(p.clk.Now())
 	p.chargeWait(released)
 
+	if c.cfg.Adaptive != nil {
+		// Decision epoch: every processor is protocol-quiescent between
+		// the rendezvous above and the decision gate, so processor 0's
+		// policy transitions run against a stopped cluster.
+		p.decidePolicyEpoch()
+	}
+
 	n.mu.Lock()
 	n.arrived[p.local] = false
 	n.mu.Unlock()
@@ -240,6 +247,9 @@ func (p *Proc) flushPage(page int, releaseStart int64) {
 		}
 		changed, lo, hi := diff.FlushUpdateRange(frame, n.twins[page], c.masters[page])
 		p.trace(page, "flush-update: %d words", changed)
+		if ap := c.cfg.Adaptive; ap != nil {
+			ap.NoteFlush(page, p.global, changed)
+		}
 		if changed > 0 {
 			p.st.Inc(stats.PageFlushes)
 			if concurrent {
@@ -352,6 +362,11 @@ func (p *Proc) acquireActions() {
 			continue // already updated by another local processor
 		}
 		if _, excl := p.c.lay.Excl(p.ownWord(page)); excl {
+			continue
+		}
+		if c.pageModeOf(page) != ModeInvalidate && p.refreshPage(page) {
+			// Write-update mode: the notice was serviced by refreshing
+			// the frame in place; every local mapping stays valid.
 			continue
 		}
 		if p.table.Get(page) == directory.Invalid {

@@ -119,6 +119,28 @@ func (h *Harness) BarrierCost() int64 {
 	return h.c.model.Barrier(len(h.c.procs), h.c.cfg.Protocol.TwoLevelFamily())
 }
 
+// PageMode returns page's current adaptive coherence mode.
+func (h *Harness) PageMode(page int) PageMode { return h.c.pageModeOf(page) }
+
+// SetPageMode switches page's coherence mode on processor proc's
+// behalf (the policy engine's SetMode transition), reporting whether
+// the mode changed.
+func (h *Harness) SetPageMode(proc, page int, mode PageMode) bool {
+	return (&PolicyActions{c: h.c, p: h.proc(proc)}).SetMode(page, mode)
+}
+
+// Replicate performs the broadcast-replication transition for page on
+// processor proc's behalf (see PolicyActions.Replicate).
+func (h *Harness) Replicate(proc, page int) bool {
+	return (&PolicyActions{c: h.c, p: h.proc(proc)}).Replicate(page)
+}
+
+// MigrateHomeTo migrates page's superpage home to processor proc's
+// protocol node on proc's behalf (see PolicyActions.MigrateHome).
+func (h *Harness) MigrateHomeTo(proc, page int) bool {
+	return (&PolicyActions{c: h.c, p: h.proc(proc)}).MigrateHome(page, proc)
+}
+
 // Clock returns processor proc's current virtual time.
 func (h *Harness) Clock(proc int) int64 { return h.proc(proc).clk.Now() }
 

@@ -149,6 +149,22 @@ var clobberIncoming atomic.Bool
 // defect. Test use only.
 func SetClobberIncomingForTest(on bool) { clobberIncoming.Store(on) }
 
+// Refresh overwrites dst with src word-atomically and returns the
+// number of words that differed — the payload size of a write-update
+// refresh applied to a frame with no twin (no unreleased local writes
+// to preserve, so a counted copy is the whole merge).
+func Refresh(dst, src []int64) int {
+	n := 0
+	for i := range src {
+		v := atomic.LoadInt64(&src[i])
+		if atomic.LoadInt64(&dst[i]) != v {
+			atomic.StoreInt64(&dst[i], v)
+			n++
+		}
+	}
+	return n
+}
+
 // Copy overwrites dst with src word-atomically (a whole-page transfer or
 // exclusive-mode flush). The slices must have equal length.
 func Copy(dst, src []int64) {

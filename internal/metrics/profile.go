@@ -44,8 +44,21 @@ type PageProfile struct {
 	Readers int `json:"readers"`
 	Writers int `json:"writers"`
 
+	// Samples is the number of classification-relevant events (faults
+	// and diffs) behind the Pattern label. A label backed by fewer than
+	// LowConfidenceSamples events is weak evidence: a page touched three
+	// times can look "migratory" by accident, one touched three hundred
+	// times cannot.
+	Samples int64 `json:"samples"`
+
 	Pattern string `json:"pattern"`
 }
+
+// LowConfidenceSamples is the evidence threshold below which a sharing-
+// pattern label is flagged as low-confidence in the text report. The
+// adaptive policy engine uses the same bar (policy.Config.MinSamples
+// defaults to it) before acting on a classification.
+const LowConfidenceSamples = 8
 
 // SyncProfile aggregates acquire latency for one lock or flag.
 type SyncProfile struct {
@@ -216,6 +229,8 @@ func BuildProfile(t *trace.Tracer, topN int) *Profile {
 	for _, a := range pages {
 		a.prof.Readers = len(a.readers)
 		a.prof.Writers = len(a.writers)
+		a.prof.Samples = a.prof.ReadFaults + a.prof.WriteFaults +
+			a.prof.DiffsOut + a.prof.DiffsIn
 		a.prof.Pattern = classifyPage(a)
 		all = append(all, a)
 	}
@@ -263,22 +278,44 @@ func BuildProfile(t *trace.Tracer, topN int) *Profile {
 //     writer to writer (a reduction variable, a task queue head).
 //   - Anything else: write-shared.
 func classifyPage(a *pageAcc) string {
-	w := len(a.writers)
-	if w == 0 {
+	outsideReader := false
+	for r := range a.readers {
+		if !a.writers[r] {
+			outsideReader = true
+			break
+		}
+	}
+	return ClassifySharing(len(a.readers), len(a.writers), outsideReader,
+		len(a.spans) >= 2 && disjointSpans(a.spans),
+		a.writeSeqLen, a.alternations)
+}
+
+// ClassifySharing is the sharing-pattern decision procedure behind
+// classifyPage, exported so the adaptive policy engine (internal/policy)
+// applies the same taxonomy to its online per-epoch counters that the
+// offline profiler applies to a full trace.
+//
+// readers and writers count distinct faulting processors;
+// outsideReader reports whether some reader is not also a writer;
+// spansDisjoint reports whether multiple writers' flushed word
+// envelopes are pairwise disjoint (callers without span tracking pass
+// false, which only forfeits the false-sharing label); writeSeqLen and
+// alternations describe the write-fault processor sequence (callers
+// without ordering pass 0, 0, which only forfeits the migratory label).
+func ClassifySharing(readers, writers int, outsideReader, spansDisjoint bool, writeSeqLen, alternations int64) string {
+	if writers == 0 {
 		return PatternReadOnly
 	}
-	if w == 1 {
-		for r := range a.readers {
-			if !a.writers[r] {
-				return PatternProducerConsumer
-			}
+	if writers == 1 {
+		if outsideReader {
+			return PatternProducerConsumer
 		}
 		return PatternSingleWriter
 	}
-	if len(a.spans) >= 2 && disjointSpans(a.spans) {
+	if spansDisjoint {
 		return PatternFalseSharing
 	}
-	if a.writeSeqLen >= 4 && a.alternations*4 >= (a.writeSeqLen-1)*3 {
+	if writeSeqLen >= 4 && alternations*4 >= (writeSeqLen-1)*3 {
 		return PatternMigratory
 	}
 	return PatternWriteShared
@@ -303,12 +340,16 @@ func disjointSpans(spans map[int32][2]int) bool {
 // WriteText renders the profile as the -profile text report.
 func (p *Profile) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "hot pages (%d of %d with protocol activity)\n", len(p.Pages), p.TotalPages)
-	fmt.Fprintf(w, "%6s %12s %7s %7s %6s %6s %6s %4s %4s  %s\n",
-		"page", "proto-ns", "rfault", "wfault", "fetch", "dout", "din", "rd", "wr", "pattern")
+	fmt.Fprintf(w, "%6s %12s %7s %7s %6s %6s %6s %4s %4s %6s  %s\n",
+		"page", "proto-ns", "rfault", "wfault", "fetch", "dout", "din", "rd", "wr", "smpl", "pattern")
 	for _, pg := range p.Pages {
-		fmt.Fprintf(w, "%6d %12d %7d %7d %6d %6d %6d %4d %4d  %s\n",
+		pattern := pg.Pattern
+		if pg.Samples < LowConfidenceSamples {
+			pattern += " ?" // too few samples to trust the label
+		}
+		fmt.Fprintf(w, "%6d %12d %7d %7d %6d %6d %6d %4d %4d %6d  %s\n",
 			pg.Page, pg.ProtocolNS, pg.ReadFaults, pg.WriteFaults, pg.Transfers,
-			pg.DiffsOut, pg.DiffsIn, pg.Readers, pg.Writers, pg.Pattern)
+			pg.DiffsOut, pg.DiffsIn, pg.Readers, pg.Writers, pg.Samples, pattern)
 	}
 
 	if len(p.Locks) > 0 {

@@ -65,6 +65,18 @@
 //     actually wrote to that word (catches cross-word or cross-page
 //     smearing).
 //
+// With Options.PolicyOps, the adaptive policy engine's transitions
+// (internal/policy) join the alphabet and two more invariants apply:
+//
+//   - policy-atomic: a broadcast promotion that acts leaves the whole
+//     transition applied within its step — mode table, replicated
+//     frames, and read-only mappings all consistent; no schedule can
+//     observe a half-applied transition.
+//   - home-agree: a home migration that acts lands the home on the
+//     acting processor's node, and (via dir-agree's home check, which
+//     runs continuously) every node's directory word records the new
+//     home processor.
+//
 // See docs/MODELCHECK.md for the state space and workflow.
 package modelcheck
 
@@ -102,15 +114,45 @@ const (
 	// exclusive mode held by another node, without the subsequent
 	// map-in a fault would perform.
 	OpBreak
+	// OpModeInvalidate switches the page's adaptive coherence mode to
+	// write-invalidate (the baseline), as the policy engine's demotion
+	// transition would. New kinds append after OpBreak so recorded
+	// counterexample JSON keeps its meaning.
+	OpModeInvalidate
+	// OpModeUpdate switches the page to write-update mode: subsequent
+	// acquires service the page's write notices by refreshing the frame
+	// in place instead of invalidating.
+	OpModeUpdate
+	// OpBroadcast switches the page to broadcast mode and, if the mode
+	// changed, immediately replicates the master copy to every node —
+	// the two halves of the engine's broadcast promotion, in one
+	// schedule step because the engine applies them back to back inside
+	// a decision epoch.
+	OpBroadcast
+	// OpMigrateHome migrates the page's (superpage's) home to the
+	// acting processor's protocol node, the engine's home-migration
+	// transition.
+	OpMigrateHome
 )
 
 var opKindNames = map[OpKind]string{
-	OpRead:    "read",
-	OpWrite:   "write",
-	OpRelease: "release",
-	OpAcquire: "acquire",
-	OpBarrier: "barrier",
-	OpBreak:   "break",
+	OpRead:           "read",
+	OpWrite:          "write",
+	OpRelease:        "release",
+	OpAcquire:        "acquire",
+	OpBarrier:        "barrier",
+	OpBreak:          "break",
+	OpModeInvalidate: "mode-invalidate",
+	OpModeUpdate:     "mode-update",
+	OpBroadcast:      "broadcast",
+	OpMigrateHome:    "migrate-home",
+}
+
+// isPolicyOp reports whether k is one of the adaptive-policy
+// transitions (enabled only under Options.PolicyOps).
+func isPolicyOp(k OpKind) bool {
+	return k == OpModeInvalidate || k == OpModeUpdate ||
+		k == OpBroadcast || k == OpMigrateHome
 }
 
 // String returns the op kind's schedule name.
@@ -136,7 +178,7 @@ func (o Op) String() string {
 	switch o.Kind {
 	case OpRead, OpWrite:
 		return fmt.Sprintf("p%d:%s(page%d,w%d)", o.Proc, o.Kind, o.Page, o.Word)
-	case OpBreak:
+	case OpBreak, OpModeInvalidate, OpModeUpdate, OpBroadcast, OpMigrateHome:
 		return fmt.Sprintf("p%d:%s(page%d)", o.Proc, o.Kind, o.Page)
 	default:
 		return fmt.Sprintf("p%d:%s", o.Proc, o.Kind)
@@ -174,6 +216,14 @@ type Options struct {
 	// maximizes write-write conflict coverage per unit of depth).
 	// Scripted schedules may address any word regardless.
 	Words int `json:"words,omitempty"`
+
+	// PolicyOps adds the adaptive-policy transitions to the generated
+	// alphabet: per-page mode flips and broadcast replication by
+	// processor 0 (the engine's decider), and home migration by any
+	// processor hosted away from the page's home. Mode flips are
+	// restricted to the decider, as in the engine, to bound branching.
+	// Scripted schedules may use the policy op kinds regardless.
+	PolicyOps bool `json:"policyOps,omitempty"`
 }
 
 func (o Options) withDefaults() Options {
@@ -339,6 +389,27 @@ func (r *run) enabled() []Op {
 			if x := r.exclHolder(g); x >= 0 && x != r.nodeOf[p] {
 				ops = append(ops, Op{Proc: p, Kind: OpBreak, Page: g})
 			}
+			if r.opts.PolicyOps {
+				if p == 0 {
+					switch r.h.PageMode(g) {
+					case core.ModeInvalidate:
+						ops = append(ops,
+							Op{Proc: p, Kind: OpModeUpdate, Page: g},
+							Op{Proc: p, Kind: OpBroadcast, Page: g})
+					case core.ModeUpdate:
+						ops = append(ops,
+							Op{Proc: p, Kind: OpModeInvalidate, Page: g},
+							Op{Proc: p, Kind: OpBroadcast, Page: g})
+					case core.ModeBroadcast:
+						ops = append(ops,
+							Op{Proc: p, Kind: OpModeInvalidate, Page: g},
+							Op{Proc: p, Kind: OpModeUpdate, Page: g})
+					}
+				}
+				if r.nodeOf[p] != r.h.HomeOf(g) {
+					ops = append(ops, Op{Proc: p, Kind: OpMigrateHome, Page: g})
+				}
+			}
 		}
 		ops = append(ops,
 			Op{Proc: p, Kind: OpRelease},
@@ -369,7 +440,7 @@ func (r *run) apply(op Op) *Violation {
 		return &Violation{Invariant: "schedule", Step: r.step,
 			Detail: fmt.Sprintf("op %s: no such processor", op)}
 	}
-	if (op.Kind == OpRead || op.Kind == OpWrite || op.Kind == OpBreak) &&
+	if (op.Kind == OpRead || op.Kind == OpWrite || op.Kind == OpBreak || isPolicyOp(op.Kind)) &&
 		(op.Page < 0 || op.Page >= r.pages || op.Word < 0 || op.Word >= r.words) {
 		return &Violation{Invariant: "schedule", Step: r.step,
 			Detail: fmt.Sprintf("op %s: page/word out of range", op)}
@@ -378,6 +449,7 @@ func (r *run) apply(op Op) *Violation {
 
 	drained := make([]bool, r.nnodes) // nodes whose gwn a drain emptied
 	barrierDone := false
+	policyActed := false // a policy op performed its transition
 	var readVal int64
 	hasRead := false
 
@@ -404,6 +476,16 @@ func (r *run) apply(op Op) *Violation {
 			drained[r.nodeOf[op.Proc]] = true
 		case OpBreak:
 			r.h.BreakExclusive(op.Proc, op.Page)
+		case OpModeInvalidate:
+			policyActed = r.h.SetPageMode(op.Proc, op.Page, core.ModeInvalidate)
+		case OpModeUpdate:
+			policyActed = r.h.SetPageMode(op.Proc, op.Page, core.ModeUpdate)
+		case OpBroadcast:
+			if r.h.SetPageMode(op.Proc, op.Page, core.ModeBroadcast) {
+				policyActed = r.h.Replicate(op.Proc, op.Page)
+			}
+		case OpMigrateHome:
+			policyActed = r.h.MigrateHomeTo(op.Proc, op.Page)
 		case OpBarrier:
 			r.h.BarrierArrive(op.Proc)
 			r.arrived[op.Proc] = true
@@ -433,7 +515,7 @@ func (r *run) apply(op Op) *Violation {
 		}
 	}
 
-	v := r.check(op, drained, barrierDone, hasRead, readVal)
+	v := r.check(op, drained, barrierDone, policyActed, hasRead, readVal)
 	r.step++
 	return v
 }
@@ -462,11 +544,54 @@ func (r *run) settleOracle() {
 }
 
 // check runs the invariant catalog after a step.
-func (r *run) check(op Op, drained []bool, barrierDone, hasRead bool, readVal int64) *Violation {
+func (r *run) check(op Op, drained []bool, barrierDone, policyActed, hasRead bool, readVal int64) *Violation {
 	r.settleOracle()
 	fail := func(inv, format string, args ...any) *Violation {
 		return &Violation{Invariant: inv, Step: r.step,
 			Detail: fmt.Sprintf("after %s: ", op) + fmt.Sprintf(format, args...)}
+	}
+
+	// policy-atomic: a broadcast promotion that acted must leave the
+	// whole transition applied in one step — the mode table says
+	// broadcast, and every node that was eligible for replication (no
+	// live twin guarding local writes) holds a master-identical frame
+	// with every local processor mapped at least read-only.
+	if op.Kind == OpBroadcast && policyActed {
+		if m := r.h.PageMode(op.Page); m != core.ModeBroadcast {
+			return fail("policy-atomic", "page %d mode is %s after an acting broadcast op", op.Page, m)
+		}
+		master := r.h.Master(op.Page)
+		for x := 0; x < r.nnodes; x++ {
+			st := r.h.PageState(x, op.Page)
+			if st.HasTwin && !st.Aliased {
+				continue // replication leaves twin-guarded frames alone
+			}
+			if !st.HasFrame {
+				return fail("policy-atomic", "page %d node %d has no frame after replication", op.Page, x)
+			}
+			for w := 0; w < r.words; w++ {
+				if st.Frame[w] != master[w] {
+					return fail("policy-atomic", "page %d word %d: node %d frame has %d, master %d after replication",
+						op.Page, w, x, st.Frame[w], master[w])
+				}
+			}
+			for l, perm := range st.Perms {
+				if perm == directory.Invalid {
+					return fail("policy-atomic", "page %d node %d local proc %d still unmapped after replication",
+						op.Page, x, l)
+				}
+			}
+		}
+	}
+
+	// home-agree: a home migration that acted must land the home on the
+	// acting processor's node (the continuous dir-agree check below
+	// separately holds every node's directory word to the new record).
+	if op.Kind == OpMigrateHome && policyActed {
+		if home, want := r.h.HomeOf(op.Page), r.nodeOf[op.Proc]; home != want {
+			return fail("home-agree", "page %d home is node %d after migration toward proc %d (node %d)",
+				op.Page, home, op.Proc, want)
+		}
 	}
 
 	// read-value: reads return zero or a value written to that word.

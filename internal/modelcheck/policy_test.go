@@ -1,0 +1,131 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"cashmere/internal/core"
+)
+
+// The policy-op sweeps: the adaptive engine's transitions join the
+// alphabet (Options.PolicyOps), so every interleaving of mode flips,
+// broadcast replications, and home migrations with the protocol's own
+// transitions is explored against the full invariant catalog plus the
+// two adaptive invariants (policy-atomic, home-agree).
+
+func TestExplorePolicyOps(t *testing.T) {
+	mustExplore(t, Options{Protocol: core.TwoLevel, PolicyOps: true}, exploreDepth(t, 3))
+}
+
+func TestExplorePolicyOpsOneLevelDiff(t *testing.T) {
+	mustExplore(t, Options{Protocol: core.OneLevelDiff, PolicyOps: true}, exploreDepth(t, 3))
+}
+
+// TestExplorePolicyOpsFirstTouch covers the interaction that once bit:
+// replicating a page whose superpage has not been first-touched must
+// pin the home, or the eventual first touch migrates the home out from
+// under the directory words the broadcast published.
+func TestExplorePolicyOpsFirstTouch(t *testing.T) {
+	mustExplore(t, Options{Protocol: core.TwoLevel, PolicyOps: true, FirstTouch: true},
+		exploreDepth(t, 3))
+}
+
+// TestExplorePolicyDeep is the acceptance sweep: exhaustive exploration
+// of mid-schedule policy flips at depth 4 against every invariant.
+func TestExplorePolicyDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration")
+	}
+	mustExplore(t, Options{Protocol: core.TwoLevel, PolicyOps: true}, exploreDepth(t, 4))
+}
+
+// mustRunSchedule executes a scripted schedule and fails on any
+// invariant violation.
+func mustRunSchedule(t *testing.T, opts Options, schedule []Op) {
+	t.Helper()
+	v, err := RunSchedule(opts, schedule)
+	if err != nil {
+		t.Fatalf("RunSchedule: %v", err)
+	}
+	if v != nil {
+		t.Fatalf("scripted schedule violated an invariant: %v", v)
+	}
+}
+
+// Scripted transition-pair schedules: each drives one policy
+// transition pair through the protocol states the exhaustive bound
+// cannot reach (they need 8-12 steps), checking every invariant after
+// every step.
+
+// TestScheduleInvalidateUpdateFlip cycles page 0 invalidate -> update
+// -> invalidate across write/flush/acquire episodes: the update-mode
+// acquire refreshes the consumer's frame in place, the flip back
+// restores invalidation servicing, and a full barrier converges.
+func TestScheduleInvalidateUpdateFlip(t *testing.T) {
+	mustRunSchedule(t, Options{Protocol: core.TwoLevel}, []Op{
+		{Proc: 0, Kind: OpWrite, Page: 0, Word: 0},
+		{Proc: 2, Kind: OpRead, Page: 0, Word: 0}, // node 1 joins the sharing set
+		{Proc: 0, Kind: OpModeUpdate, Page: 0},
+		{Proc: 0, Kind: OpWrite, Page: 0, Word: 1},
+		{Proc: 0, Kind: OpRelease}, // notices posted to node 1
+		{Proc: 2, Kind: OpAcquire}, // serviced by in-place refresh
+		{Proc: 2, Kind: OpRead, Page: 0, Word: 1},
+		{Proc: 0, Kind: OpModeInvalidate, Page: 0},
+		{Proc: 0, Kind: OpWrite, Page: 0, Word: 2},
+		{Proc: 0, Kind: OpRelease},
+		{Proc: 2, Kind: OpAcquire}, // back to invalidate servicing
+		{Proc: 2, Kind: OpRead, Page: 0, Word: 2},
+		{Proc: 0, Kind: OpBarrier},
+		{Proc: 1, Kind: OpBarrier},
+		{Proc: 2, Kind: OpBarrier},
+		{Proc: 3, Kind: OpBarrier},
+	})
+}
+
+// TestScheduleMigrateDuringRelease migrates page 0's home while
+// processor 0 sits between a write (twin created, flush pending) and
+// its release: the deferred flush must land on the new home with no
+// write lost and every directory word agreeing on the new record.
+func TestScheduleMigrateDuringRelease(t *testing.T) {
+	mustRunSchedule(t, Options{Protocol: core.TwoLevel}, []Op{
+		{Proc: 0, Kind: OpWrite, Page: 0, Word: 0},
+		{Proc: 2, Kind: OpMigrateHome, Page: 0}, // home moves mid-release-window
+		{Proc: 0, Kind: OpRelease},              // flush must find the new home
+		{Proc: 2, Kind: OpAcquire},
+		{Proc: 2, Kind: OpRead, Page: 0, Word: 0},
+		{Proc: 0, Kind: OpBarrier},
+		{Proc: 1, Kind: OpBarrier},
+		{Proc: 2, Kind: OpBarrier},
+		{Proc: 3, Kind: OpBarrier},
+	})
+}
+
+// TestScheduleBroadcastDemotedByWrite promotes page 0 to broadcast,
+// then writes it from another node: the write fault must demote the
+// page to write-invalidate before twinning (the broadcast safety
+// valve), and the system must converge at the following barrier.
+func TestScheduleBroadcastDemotedByWrite(t *testing.T) {
+	opts := Options{Protocol: core.TwoLevel}
+	r, err := newRun(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range []Op{
+		{Proc: 0, Kind: OpWrite, Page: 0, Word: 0},
+		{Proc: 0, Kind: OpRelease},
+		{Proc: 0, Kind: OpBroadcast, Page: 0},
+		{Proc: 2, Kind: OpWrite, Page: 0, Word: 1}, // fault demotes broadcast
+		{Proc: 2, Kind: OpRelease},
+		{Proc: 0, Kind: OpAcquire},
+		{Proc: 0, Kind: OpBarrier},
+		{Proc: 1, Kind: OpBarrier},
+		{Proc: 2, Kind: OpBarrier},
+		{Proc: 3, Kind: OpBarrier},
+	} {
+		if v := r.apply(op); v != nil {
+			t.Fatalf("step %d (%s): %v", i, op, v)
+		}
+	}
+	if m := r.h.PageMode(0); m != core.ModeInvalidate {
+		t.Errorf("page 0 mode after write fault = %v, want invalidate", m)
+	}
+}

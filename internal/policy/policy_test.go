@@ -1,0 +1,307 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cashmere/internal/core"
+	"cashmere/internal/metrics"
+	"cashmere/internal/stats"
+)
+
+func TestNoteSoleConverges(t *testing.T) {
+	var cell atomic.Int64
+	noteSole(&cell, 3)
+	if cell.Load() != 4 {
+		t.Fatalf("after one proc: %d, want 4", cell.Load())
+	}
+	noteSole(&cell, 3)
+	if cell.Load() != 4 {
+		t.Fatalf("same proc again: %d, want 4", cell.Load())
+	}
+	noteSole(&cell, 7)
+	if cell.Load() != soleMulti {
+		t.Fatalf("second proc: %d, want soleMulti", cell.Load())
+	}
+	noteSole(&cell, 3)
+	if cell.Load() != soleMulti {
+		t.Fatalf("soleMulti must be absorbing, got %d", cell.Load())
+	}
+
+	// Concurrent observers must converge to the same value regardless
+	// of interleaving.
+	var c2 atomic.Int64
+	var wg sync.WaitGroup
+	for proc := 0; proc < 8; proc++ {
+		wg.Add(1)
+		go func(proc int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				noteSole(&c2, proc)
+			}
+		}(proc)
+	}
+	wg.Wait()
+	if c2.Load() != soleMulti {
+		t.Fatalf("concurrent multi-proc: %d, want soleMulti", c2.Load())
+	}
+}
+
+func TestOrMaskFolds(t *testing.T) {
+	var cell atomic.Uint64
+	orMask(&cell, 0)
+	orMask(&cell, 5)
+	orMask(&cell, 64) // folds onto bit 0
+	if got := cell.Load(); got != (1<<0)|(1<<5) {
+		t.Fatalf("mask = %#x, want %#x", got, (1<<0)|(1<<5))
+	}
+}
+
+// runCfg executes body on a 2x2 two-level cluster with the adaptive
+// engine wired at the given thresholds.
+func runCfg(t *testing.T, pcfg Config, body func(p *core.Proc)) (*core.Cluster, core.Result) {
+	t.Helper()
+	cfg := core.Config{
+		Nodes:        2,
+		ProcsPerNode: 2,
+		Protocol:     core.TwoLevel,
+		PageWords:    64,
+		SharedWords:  64 * 8,
+	}
+	Wire(&cfg, pcfg)
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(body)
+	return c, res
+}
+
+// run wires twitchy thresholds with the probe effectively disabled, so
+// tests can assert the mode a workload's evidence converges to.
+func run(t *testing.T, adaptive bool, body func(p *core.Proc)) (*core.Cluster, core.Result) {
+	t.Helper()
+	if adaptive {
+		return runCfg(t, Config{MinSamples: 1, HoldEpochs: 1, ProbeEpochs: 1000}, body)
+	}
+	cfg := core.Config{
+		Nodes:        2,
+		ProcsPerNode: 2,
+		Protocol:     core.TwoLevel,
+		PageWords:    64,
+		SharedWords:  64 * 8,
+	}
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Run(body)
+	return c, res
+}
+
+// producerConsumer has proc 0 rewrite page 0 each phase and the other
+// procs read it back, with barriers between — the write-update shape.
+func producerConsumer(rounds int) func(p *core.Proc) {
+	return func(p *core.Proc) {
+		for r := 0; r < rounds; r++ {
+			if p.ID() == 0 {
+				for w := 0; w < 8; w++ {
+					p.Store(w, int64(r*100+w))
+				}
+			}
+			p.Barrier()
+			for w := 0; w < 8; w++ {
+				if got := p.Load(w); got != int64(r*100+w) {
+					panic("stale read under adaptive policy")
+				}
+			}
+			p.Barrier()
+		}
+	}
+}
+
+func TestEnginePromotesProducerConsumerToUpdate(t *testing.T) {
+	c, _ := run(t, true, producerConsumer(6))
+	h := c.Harness()
+	if m := h.PageMode(0); m != core.ModeUpdate {
+		t.Errorf("page 0 mode = %v, want update", m)
+	}
+	tot := c.SnapshotStats()
+	if tot.Counts[stats.PolicyModeChanges] == 0 {
+		t.Error("no policy mode changes recorded")
+	}
+	if tot.Counts[stats.PolicyUpdates] == 0 {
+		t.Error("no update-mode refreshes recorded")
+	}
+}
+
+// TestEnginePatternTracksProfilerTaxonomy pins the tentpole's feedback
+// contract: the engine's online per-page classification must produce
+// the same label the offline -profile report gives the same sharing
+// shape, because both run metrics.ClassifySharing.
+func TestEnginePatternTracksProfilerTaxonomy(t *testing.T) {
+	cfg := core.Config{
+		Nodes:        2,
+		ProcsPerNode: 2,
+		Protocol:     core.TwoLevel,
+		PageWords:    64,
+		SharedWords:  64 * 8,
+	}
+	e := Wire(&cfg, Config{MinSamples: 1, HoldEpochs: 1, ProbeEpochs: 1000})
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(producerConsumer(6))
+	if got := e.Pattern(0); got != metrics.PatternProducerConsumer {
+		t.Errorf("page 0 pattern = %q, want %q", got, metrics.PatternProducerConsumer)
+	}
+}
+
+// TestEngineProbeDemotesWhenReadersVanish promotes a page through
+// refetch churn, then keeps writing it with no readers: update mode
+// hides read faults, so the engine must demote after ProbeEpochs of
+// writes with no read evidence rather than refresh consumers forever.
+func TestEngineProbeDemotesWhenReadersVanish(t *testing.T) {
+	c, _ := runCfg(t, Config{MinSamples: 1, HoldEpochs: 1, ProbeEpochs: 2},
+		func(p *core.Proc) {
+			for r := 0; r < 3; r++ { // churn: promote to update
+				if p.ID() == 0 {
+					p.Store(0, int64(r))
+				}
+				p.Barrier()
+				p.Load(0)
+				p.Barrier()
+			}
+			for r := 0; r < 6; r++ { // writes continue, readers vanish
+				if p.ID() == 0 {
+					p.Store(0, int64(100+r))
+				}
+				p.Barrier()
+			}
+		})
+	if m := c.Harness().PageMode(0); m != core.ModeInvalidate {
+		t.Errorf("page 0 mode after readers vanished = %v, want invalidate", m)
+	}
+}
+
+func TestEngineReplicatesReadOnlyPage(t *testing.T) {
+	// Page 1 (words 64..127) is written once during init, then only
+	// read. After enough epochs the engine should broadcast it.
+	c, _ := run(t, true, func(p *core.Proc) {
+		p.BeginInit()
+		if p.ID() == 0 {
+			for w := 0; w < 8; w++ {
+				p.Store(64+w, int64(w+1))
+			}
+		}
+		p.EndInit()
+		for r := 0; r < 5; r++ {
+			for w := 0; w < 8; w++ {
+				if got := p.Load(64 + w); got != int64(w+1) {
+					panic("wrong value on read-only page")
+				}
+			}
+			p.Barrier()
+		}
+	})
+	if m := c.Harness().PageMode(1); m != core.ModeBroadcast {
+		t.Errorf("page 1 mode = %v, want broadcast", m)
+	}
+	tot := c.SnapshotStats()
+	if tot.Counts[stats.PolicyReplications] == 0 {
+		t.Error("no replications recorded")
+	}
+}
+
+func TestEngineMigratesHomeTowardFlusher(t *testing.T) {
+	// All pages share superpage homes; the sole writer of page 2 lives
+	// on node 1 while the home starts on node 0 (first touch is off in
+	// this harnessless run once EndInit passes; proc 2 is on node 1).
+	c, _ := run(t, true, func(p *core.Proc) {
+		for r := 0; r < 6; r++ {
+			if p.ID() == 2 {
+				p.Store(2*64, int64(r))
+			}
+			p.Barrier()
+			p.Load(2 * 64)
+			p.Barrier()
+		}
+	})
+	h := c.Harness()
+	want := h.ProtoNodeOf(2)
+	if got := h.HomeOf(2); got != want {
+		t.Errorf("page 2 home = %d, want %d (flusher's node)", got, want)
+	}
+	tot := c.SnapshotStats()
+	if tot.Counts[stats.HomeMigrations] == 0 {
+		t.Error("no home migrations recorded")
+	}
+}
+
+// TestAdaptiveDeterministic runs the same workload twice with the
+// engine on and requires identical virtual time and data volume.
+func TestAdaptiveDeterministic(t *testing.T) {
+	_, a := run(t, true, producerConsumer(5))
+	_, b := run(t, true, producerConsumer(5))
+	if a.ExecNS != b.ExecNS || a.DataBytes != b.DataBytes {
+		t.Errorf("nondeterministic adaptive run: %d/%d vs %d/%d",
+			a.ExecNS, a.DataBytes, b.ExecNS, b.DataBytes)
+	}
+}
+
+// TestObserveOnlyEngineIsNearFree wires a controller that never acts.
+// Its Note hooks charge nothing and its decision gate adds no virtual
+// time, but the gate is a second host rendezvous: it reorders which
+// sibling processor services a node's notice bins first, so the run is
+// close to — not bit-identical with — the nil-controller baseline
+// (only Config.Adaptive == nil takes the untouched baseline path; the
+// golden-config tests pin that). Here we bound the drift and require
+// that no policy action was taken.
+type nullController struct{}
+
+func (nullController) NoteReadFault(page, proc int)         {}
+func (nullController) NoteWriteFault(page, proc int)        {}
+func (nullController) NoteFlush(page, proc, changed int)    {}
+func (nullController) DecideEpoch(int, *core.PolicyActions) {}
+
+func TestObserveOnlyEngineIsNearFree(t *testing.T) {
+	cfg := core.Config{
+		Nodes:        2,
+		ProcsPerNode: 2,
+		Protocol:     core.TwoLevel,
+		PageWords:    64,
+		SharedWords:  64 * 8,
+	}
+	base, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base.Run(producerConsumer(4))
+
+	cfg.Adaptive = nullController{}
+	cl, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := cl.Run(producerConsumer(4))
+
+	drift := on.ExecNS - off.ExecNS
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift*20 > off.ExecNS { // 5%
+		t.Errorf("observe-only engine drifted too far: off %d ns, on %d ns",
+			off.ExecNS, on.ExecNS)
+	}
+	tot := cl.SnapshotStats()
+	for _, ctr := range []stats.Counter{
+		stats.PolicyModeChanges, stats.PolicyUpdates,
+		stats.PolicyReplications, stats.HomeMigrations,
+	} {
+		if tot.Counts[ctr] != 0 {
+			t.Errorf("%v = %d, want 0 from a null controller", ctr, tot.Counts[ctr])
+		}
+	}
+}

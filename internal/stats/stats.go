@@ -38,25 +38,31 @@ const (
 	PageFlushes // outgoing diff flushes to the home node
 	HomeMigrations
 	ExplicitRequests
+	PolicyModeChanges  // adaptive policy per-page mode transitions
+	PolicyUpdates      // write-update refreshes applied at acquires
+	PolicyReplications // broadcast replications of read-mostly pages
 	numCounters
 )
 
 var counterNames = [...]string{
-	LockAcquires:     "LockAcquires",
-	Barriers:         "Barriers",
-	ReadFaults:       "ReadFaults",
-	WriteFaults:      "WriteFaults",
-	PageTransfers:    "PageTransfers",
-	DirectoryUpdates: "DirectoryUpdates",
-	WriteNotices:     "WriteNotices",
-	ExclTransitions:  "ExclTransitions",
-	TwinCreations:    "TwinCreations",
-	IncomingDiffs:    "IncomingDiffs",
-	FlushUpdates:     "FlushUpdates",
-	Shootdowns:       "Shootdowns",
-	PageFlushes:      "PageFlushes",
-	HomeMigrations:   "HomeMigrations",
-	ExplicitRequests: "ExplicitRequests",
+	LockAcquires:       "LockAcquires",
+	Barriers:           "Barriers",
+	ReadFaults:         "ReadFaults",
+	WriteFaults:        "WriteFaults",
+	PageTransfers:      "PageTransfers",
+	DirectoryUpdates:   "DirectoryUpdates",
+	WriteNotices:       "WriteNotices",
+	ExclTransitions:    "ExclTransitions",
+	TwinCreations:      "TwinCreations",
+	IncomingDiffs:      "IncomingDiffs",
+	FlushUpdates:       "FlushUpdates",
+	Shootdowns:         "Shootdowns",
+	PageFlushes:        "PageFlushes",
+	HomeMigrations:     "HomeMigrations",
+	ExplicitRequests:   "ExplicitRequests",
+	PolicyModeChanges:  "PolicyModeChanges",
+	PolicyUpdates:      "PolicyUpdates",
+	PolicyReplications: "PolicyReplications",
 }
 
 // String returns the counter's name.

@@ -52,22 +52,24 @@ type chromeFile struct {
 // argNames gives kind-specific names to Arg/Arg2 so the Perfetto UI
 // reads naturally; kinds missing here fall back to "arg"/"arg2".
 var argNames = map[Kind][2]string{
-	EvPageFetch:      {"bytes", "home"},
-	EvTwin:           {"words", ""},
-	EvDiffOut:        {"words", "span"},
-	EvDiffIn:         {"words", ""},
-	EvNoticeSend:     {"to", ""},
-	EvShootdown:      {"victim", ""},
-	EvShootdownDrain: {"writers", ""},
-	EvExclBreak:      {"holder_node", "holder_proc"},
-	EvLock:           {"lock", ""},
-	EvUnlock:         {"lock", ""},
-	EvFlagSet:        {"flag", ""},
-	EvFlagWait:       {"flag", ""},
-	EvDirUpdate:      {"by", ""},
-	EvHomeMigrate:    {"from", "to"},
-	EvLinkTransfer:   {"bytes", ""},
-	EvMsgSend:        {"off", "subtype"},
+	EvPageFetch:       {"bytes", "home"},
+	EvTwin:            {"words", ""},
+	EvDiffOut:         {"words", "span"},
+	EvDiffIn:          {"words", ""},
+	EvNoticeSend:      {"to", ""},
+	EvShootdown:       {"victim", ""},
+	EvShootdownDrain:  {"writers", ""},
+	EvExclBreak:       {"holder_node", "holder_proc"},
+	EvLock:            {"lock", ""},
+	EvUnlock:          {"lock", ""},
+	EvFlagSet:         {"flag", ""},
+	EvFlagWait:        {"flag", ""},
+	EvDirUpdate:       {"by", ""},
+	EvHomeMigrate:     {"from", "to"},
+	EvLinkTransfer:    {"bytes", ""},
+	EvMsgSend:         {"off", "subtype"},
+	EvPolicyMode:      {"old_mode", "new_mode"},
+	EvPolicyReplicate: {"nodes", ""},
 }
 
 // WriteChrome writes the tracer's events as Chrome trace-event JSON.

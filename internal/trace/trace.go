@@ -48,29 +48,31 @@ type Kind uint8
 // (nonzero Dur) cover an interval of virtual time; the rest are
 // instants.
 const (
-	EvNone           Kind = iota
-	EvReadFault           // span: read access violation entry to resolution
-	EvWriteFault          // span: write access violation entry to resolution
-	EvPageFetch           // span: page transfer from the home node; Arg=bytes, Arg2=home protocol node
-	EvTwin                // instant: twin created; Arg=page words
-	EvDiffOut             // instant: outgoing diff flushed to the home; Arg=changed words, Arg2=PackWordSpan of the changed offsets
-	EvDiffIn              // instant: incoming diff applied; Arg=changed words
-	EvNoticeSend          // instant: write notice posted; Arg=destination protocol node
-	EvNoticeApply         // instant: write notice consumed as an invalidation at an acquire
-	EvShootdown           // instant: 2LS write-mapping revocation; Arg=victim local processor
-	EvShootdownDrain      // instant: in-flight store-range runs drained; Arg=revoked writers
-	EvExclEnter           // instant: page entered exclusive mode
-	EvExclBreak           // span: explicit-request exchange breaking exclusive mode; Arg=holder node, Arg2=holder proc
-	EvBarrier             // span: barrier arrival through departure-side acquire
-	EvLock                // span: lock acquisition through acquire actions; Arg=lock index
-	EvUnlock              // span: release actions through lock release; Arg=lock index
-	EvFlagSet             // span: release actions through flag raise; Arg=flag index
-	EvFlagWait            // span: flag wait through acquire actions; Arg=flag index
-	EvDirUpdate           // instant: directory word broadcast; Arg=writing protocol node
-	EvHomeMigrate         // instant: first-touch superpage relocation; Arg=old home, Arg2=new home
-	EvLinkTransfer        // span: bulk transfer occupying a memchan link; Arg=bytes
-	EvMsgSend             // instant/span: synchronization write on a memchan link; Arg2=msgLock*/msgFlag* subtype
-	EvMsgDeliver          // instant: synchronization write observed by a waiter
+	EvNone            Kind = iota
+	EvReadFault            // span: read access violation entry to resolution
+	EvWriteFault           // span: write access violation entry to resolution
+	EvPageFetch            // span: page transfer from the home node; Arg=bytes, Arg2=home protocol node
+	EvTwin                 // instant: twin created; Arg=page words
+	EvDiffOut              // instant: outgoing diff flushed to the home; Arg=changed words, Arg2=PackWordSpan of the changed offsets
+	EvDiffIn               // instant: incoming diff applied; Arg=changed words
+	EvNoticeSend           // instant: write notice posted; Arg=destination protocol node
+	EvNoticeApply          // instant: write notice consumed as an invalidation at an acquire
+	EvShootdown            // instant: 2LS write-mapping revocation; Arg=victim local processor
+	EvShootdownDrain       // instant: in-flight store-range runs drained; Arg=revoked writers
+	EvExclEnter            // instant: page entered exclusive mode
+	EvExclBreak            // span: explicit-request exchange breaking exclusive mode; Arg=holder node, Arg2=holder proc
+	EvBarrier              // span: barrier arrival through departure-side acquire
+	EvLock                 // span: lock acquisition through acquire actions; Arg=lock index
+	EvUnlock               // span: release actions through lock release; Arg=lock index
+	EvFlagSet              // span: release actions through flag raise; Arg=flag index
+	EvFlagWait             // span: flag wait through acquire actions; Arg=flag index
+	EvDirUpdate            // instant: directory word broadcast; Arg=writing protocol node
+	EvHomeMigrate          // instant: first-touch superpage relocation; Arg=old home, Arg2=new home
+	EvLinkTransfer         // span: bulk transfer occupying a memchan link; Arg=bytes
+	EvMsgSend              // instant/span: synchronization write on a memchan link; Arg2=msgLock*/msgFlag* subtype
+	EvMsgDeliver           // instant: synchronization write observed by a waiter
+	EvPolicyMode           // instant: adaptive policy changed a page's coherence mode; Arg=old mode, Arg2=new mode
+	EvPolicyReplicate      // instant: adaptive policy replicated a page cluster-wide; Arg=nodes touched
 	numKinds
 )
 
@@ -83,29 +85,31 @@ const (
 )
 
 var kindNames = [...]string{
-	EvNone:           "none",
-	EvReadFault:      "read-fault",
-	EvWriteFault:     "write-fault",
-	EvPageFetch:      "page-fetch",
-	EvTwin:           "twin",
-	EvDiffOut:        "diff-out",
-	EvDiffIn:         "diff-in",
-	EvNoticeSend:     "notice-send",
-	EvNoticeApply:    "notice-apply",
-	EvShootdown:      "shootdown",
-	EvShootdownDrain: "shootdown-drain",
-	EvExclEnter:      "excl-enter",
-	EvExclBreak:      "excl-break",
-	EvBarrier:        "barrier",
-	EvLock:           "lock",
-	EvUnlock:         "unlock",
-	EvFlagSet:        "flag-set",
-	EvFlagWait:       "flag-wait",
-	EvDirUpdate:      "dir-update",
-	EvHomeMigrate:    "home-migrate",
-	EvLinkTransfer:   "link-transfer",
-	EvMsgSend:        "msg-send",
-	EvMsgDeliver:     "msg-deliver",
+	EvNone:            "none",
+	EvReadFault:       "read-fault",
+	EvWriteFault:      "write-fault",
+	EvPageFetch:       "page-fetch",
+	EvTwin:            "twin",
+	EvDiffOut:         "diff-out",
+	EvDiffIn:          "diff-in",
+	EvNoticeSend:      "notice-send",
+	EvNoticeApply:     "notice-apply",
+	EvShootdown:       "shootdown",
+	EvShootdownDrain:  "shootdown-drain",
+	EvExclEnter:       "excl-enter",
+	EvExclBreak:       "excl-break",
+	EvBarrier:         "barrier",
+	EvLock:            "lock",
+	EvUnlock:          "unlock",
+	EvFlagSet:         "flag-set",
+	EvFlagWait:        "flag-wait",
+	EvDirUpdate:       "dir-update",
+	EvHomeMigrate:     "home-migrate",
+	EvLinkTransfer:    "link-transfer",
+	EvMsgSend:         "msg-send",
+	EvMsgDeliver:      "msg-deliver",
+	EvPolicyMode:      "policy-mode",
+	EvPolicyReplicate: "policy-replicate",
 }
 
 // String returns the event kind's name.
