@@ -50,6 +50,7 @@ import (
 	"cashmere/internal/policy"
 	"cashmere/internal/topology"
 	"cashmere/internal/trace"
+	"cashmere/internal/transport"
 )
 
 func protocolByName(name string) (core.Kind, bool) {
@@ -110,10 +111,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cashmere-run: unknown application %q\n", o.App)
 		os.Exit(2)
 	}
+	tk, err := transport.ParseKind(o.Transport)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run: -transport:", err)
+		os.Exit(2)
+	}
+	if rank, mpNodes, isChild, err := cli.MPChildFromEnv(); isChild {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run:", err)
+			os.Exit(2)
+		}
+		os.Exit(runMPChild(o, app, rank, mpNodes))
+	}
+	if tk == transport.TCP {
+		// One OS process per node over loopback sockets; the
+		// single-process engine below never runs. See docs/TRANSPORT.md.
+		os.Exit(runMPParent(o))
+	}
 
 	cfg := core.Config{
 		Topology:      spec,
 		Protocol:      kind,
+		Transport:     tk,
 		HomeOpt:       o.HomeOpt,
 		LockBasedMeta: o.LockBased,
 		UseInterrupts: o.Interrupts,

@@ -1,0 +1,190 @@
+package main
+
+// The -transport tcp launcher: one cashmere-run process per cluster
+// node, connected by a loopback TCP mesh speaking the versioned
+// transport/wire format, running the home-based multi-process protocol
+// in internal/mprun.
+//
+// The parent re-executes its own binary once per rank with
+// CASHMERE_MP_CHILD=rank:nodes in the environment and the original
+// command line unchanged, so every child parses the same flags and
+// picks the same application. Rendezvous is a two-line pipe protocol:
+// each child binds 127.0.0.1:0 and prints
+//
+//	CASHMERE-MP-ADDR <host:port>
+//
+// on stdout; the parent collects all N addresses and writes
+//
+//	CASHMERE-MP-PEERS <addr0> <addr1> ... <addrN-1>
+//
+// to every child's stdin. The children then build the all-pairs mesh
+// (tcpchan.Connect), run the application, and exit 0 on a verified
+// result. Everything else a child writes is streamed through the
+// parent: rank 0 verbatim, other ranks prefixed "[node R] ".
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/cli"
+	"cashmere/internal/costs"
+	"cashmere/internal/mprun"
+	"cashmere/internal/transport/tcpchan"
+)
+
+const (
+	mpAddrTag  = "CASHMERE-MP-ADDR"
+	mpPeersTag = "CASHMERE-MP-PEERS"
+)
+
+// runMPChild is the child side of the tcp launcher: announce a
+// listening address, receive the peer map, join the mesh, run the
+// application. Returns the process exit code.
+func runMPChild(o cli.RunOptions, app apps.App, rank, nodes int) int {
+	if nodes != o.Nodes {
+		fmt.Fprintf(os.Stderr, "cashmere-run: CASHMERE_MP_CHILD says %d nodes but flags say %d\n", nodes, o.Nodes)
+		return 2
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run: node listen:", err)
+		return 1
+	}
+	fmt.Printf("%s %s\n", mpAddrTag, lis.Addr())
+
+	sc := bufio.NewScanner(os.Stdin)
+	if !sc.Scan() {
+		fmt.Fprintln(os.Stderr, "cashmere-run: parent closed stdin before sending the peer map")
+		return 1
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != nodes+1 || fields[0] != mpPeersTag {
+		fmt.Fprintf(os.Stderr, "cashmere-run: bad peer-map line %q (want %q + %d addresses)\n", sc.Text(), mpPeersTag, nodes)
+		return 1
+	}
+	ep, err := tcpchan.Connect(rank, fields[1:], lis)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cashmere-run: node %d mesh: %v\n", rank, err)
+		return 1
+	}
+	defer ep.Close()
+
+	cfg := mprun.Config{Rank: rank, Nodes: nodes, PPN: o.PPN, Model: costs.Default()}
+	if err := mprun.Run(app, cfg, ep); err != nil {
+		fmt.Fprintf(os.Stderr, "cashmere-run: node %d: %v\n", rank, err)
+		return 1
+	}
+	if rank == 0 {
+		fmt.Printf("%s on %d:%d over tcp — %s\n", app.Name(), nodes*o.PPN, o.PPN, app.DataSet())
+		fmt.Printf("verified against sequential reference: OK\n")
+		fmt.Printf("%d OS processes over loopback, %d procs/node\n", nodes, o.PPN)
+	}
+	return 0
+}
+
+// runMPParent launches o.Nodes child processes, brokers the address
+// exchange, relays their output, and reaps them. Returns the process
+// exit code.
+func runMPParent(o cli.RunOptions) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cashmere-run:", err)
+		return 1
+	}
+	nodes := o.Nodes
+	type child struct {
+		cmd   *exec.Cmd
+		stdin io.WriteCloser
+		out   *bufio.Scanner
+	}
+	children := make([]*child, nodes)
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "cashmere-run: "+format+"\n", args...)
+		for _, c := range children {
+			if c != nil {
+				c.cmd.Process.Kill()
+				c.cmd.Wait()
+			}
+		}
+		return 1
+	}
+	for r := 0; r < nodes; r++ {
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Env = append(os.Environ(), cli.MPChildEnv(r, nodes))
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail("node %d stdin: %v", r, err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail("node %d stdout: %v", r, err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail("node %d start: %v", r, err)
+		}
+		children[r] = &child{cmd: cmd, stdin: stdin, out: bufio.NewScanner(stdout)}
+	}
+
+	// Collect each child's announced address; relay any other output
+	// it produces before the announcement.
+	addrs := make([]string, nodes)
+	for r, c := range children {
+		for {
+			if !c.out.Scan() {
+				return fail("node %d exited before announcing its address", r)
+			}
+			line := c.out.Text()
+			if a, ok := strings.CutPrefix(line, mpAddrTag+" "); ok {
+				addrs[r] = strings.TrimSpace(a)
+				break
+			}
+			relay(r, line)
+		}
+	}
+	peers := mpPeersTag + " " + strings.Join(addrs, " ") + "\n"
+	for r, c := range children {
+		if _, err := io.WriteString(c.stdin, peers); err != nil {
+			return fail("node %d peer map: %v", r, err)
+		}
+		c.stdin.Close()
+	}
+
+	// Stream the rest of every child's output, then reap.
+	var wg sync.WaitGroup
+	for r, c := range children {
+		wg.Add(1)
+		go func(r int, c *child) {
+			defer wg.Done()
+			for c.out.Scan() {
+				relay(r, c.out.Text())
+			}
+		}(r, c)
+	}
+	wg.Wait()
+	code := 0
+	for r, c := range children {
+		if err := c.cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "cashmere-run: node %d: %v\n", r, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// relay forwards one line of child output: rank 0 owns the run's
+// result summary and passes through verbatim; other ranks are tagged.
+func relay(rank int, line string) {
+	if rank == 0 {
+		fmt.Println(line)
+	} else {
+		fmt.Printf("[node %d] %s\n", rank, line)
+	}
+}

@@ -2,7 +2,9 @@
 // (Section 3.2): SOR, LU, Water, TSP, Gauss, Ilink, Em3d, and Barnes.
 //
 // Each application has a parallel body written against the DSM API
-// (core.Proc) and a sequential reference that performs the same
+// (the Proc interface, satisfied both by the simulator's core.Proc and
+// by the multi-process runtime's processor) and a sequential reference
+// that performs the same
 // computation on plain memory while accumulating the same modelled
 // computation time. The sequential time is the Table 2 baseline used
 // for speedups; the reference results validate the parallel run, so the
@@ -21,10 +23,65 @@ package apps
 import (
 	"fmt"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 	"cashmere/internal/sim"
 )
+
+// Proc is the DSM API surface an application body runs against: shared
+// word/float accesses, modelled computation, synchronization, and the
+// initialization epoch. core.Proc (the simulator engine) and the
+// multi-process runtime's processor (internal/mprun) both satisfy it,
+// which is what lets one application source run on either.
+type Proc interface {
+	// ID returns the global processor id, 0..NProcs()-1.
+	ID() int
+	// NProcs returns the total processor count.
+	NProcs() int
+
+	// Load and Store access one shared 64-bit word.
+	Load(addr int) int64
+	Store(addr int, v int64)
+	// LoadF/StoreF access a shared word as a float64.
+	LoadF(addr int) float64
+	StoreF(addr int, v float64)
+	// LoadFRow/StoreFRow access a contiguous run of shared float64s.
+	LoadFRow(dst []float64, addr int)
+	StoreFRow(addr int, src []float64)
+
+	// Compute charges ns nanoseconds of local computation plus busBytes
+	// of memory-bus traffic.
+	Compute(ns, busBytes int64)
+	// Poll services pending protocol requests (PollN amortizes the
+	// check over n loop iterations).
+	Poll()
+	PollN(n int64)
+
+	// Lock/Unlock, SetFlag/WaitFlag, and Barrier are the application
+	// synchronization operations (paper Section 2.2).
+	Lock(i int)
+	Unlock(i int)
+	SetFlag(i int)
+	WaitFlag(i int)
+	Barrier()
+
+	// BeginInit/EndInit bracket the initialization epoch; Warmup runs f
+	// without charging virtual time.
+	BeginInit()
+	EndInit()
+	Warmup(f func())
+}
+
+// Memory is the post-run view an application's Verify reads: the final
+// shared memory contents plus the cost model the run was charged under
+// (for regenerating the sequential reference).
+type Memory interface {
+	// Model returns the cost model the run used.
+	Model() costs.Model
+	// ReadShared returns the current value of the shared word at addr.
+	ReadShared(addr int) int64
+	// ReadSharedF returns ReadShared(addr) as a float64.
+	ReadSharedF(addr int) float64
+}
 
 // Shape gives the cluster resources an application needs.
 type Shape struct {
@@ -42,14 +99,14 @@ type App interface {
 	// Shape returns the shared-memory and synchronization resources
 	// required.
 	Shape() Shape
-	// Body runs the parallel program on one simulated processor.
-	Body(p *core.Proc)
+	// Body runs the parallel program on one processor.
+	Body(p Proc)
 	// SeqTime returns the sequential (uninstrumented) execution time in
 	// virtual nanoseconds under the given cost model.
 	SeqTime(m costs.Model) int64
 	// Verify checks the shared memory left by a parallel run against
 	// the sequential reference.
-	Verify(c *core.Cluster) error
+	Verify(c Memory) error
 }
 
 // SeqClock accumulates the virtual time of a sequential reference run,

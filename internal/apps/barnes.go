@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -100,7 +99,7 @@ type mem interface {
 	sti(addr int, v int64)
 }
 
-type procMem struct{ p *core.Proc }
+type procMem struct{ p Proc }
 
 func (m procMem) ld(a int) float64    { return m.p.LoadF(a) }
 func (m procMem) st(a int, v float64) { m.p.StoreF(a, v) }
@@ -270,7 +269,7 @@ func (b *Barnes) forceOn(m mem, i int, out []float64) int64 {
 }
 
 // Body runs the parallel simulation.
-func (b *Barnes) Body(p *core.Proc) {
+func (b *Barnes) Body(p Proc) {
 	m := procMem{p}
 	p.BeginInit()
 	if p.ID() == 0 {
@@ -398,8 +397,8 @@ func (b *Barnes) SeqTime(m costs.Model) int64 {
 // Verify compares final positions. The tree and every per-body
 // traversal are deterministic regardless of which processor computes a
 // body's force, so the comparison is exact.
-func (b *Barnes) Verify(c *core.Cluster) error {
-	b.runSeq(*c.Config().Model)
+func (b *Barnes) Verify(c Memory) error {
+	b.runSeq(c.Model())
 	for i, want := range b.seqPos {
 		if got := c.ReadSharedF(b.pos + i); got != want {
 			return fmt.Errorf("Barnes: pos[%d] = %g, want %g", i, got, want)

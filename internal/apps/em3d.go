@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -77,7 +76,7 @@ func (e *Em3d) dep(i, d int) int {
 }
 
 // Body runs the parallel simulation.
-func (e *Em3d) Body(p *core.Proc) {
+func (e *Em3d) Body(p Proc) {
 	p.BeginInit()
 	if p.ID() == 0 {
 		// One page-sized run per array at a time, so pages are first
@@ -128,7 +127,7 @@ func (e *Em3d) Body(p *core.Proc) {
 // of nodes whose window wraps around the array fall back to the scalar
 // path. The source array is never written during a half-step, so the
 // per-node window loads read the same values the scalar sweep did.
-func (e *Em3d) halfStep(p *core.Proc, buf, win []float64, dst, src, lo, hi int) {
+func (e *Em3d) halfStep(p Proc, buf, win []float64, dst, src, lo, hi int) {
 	deg, half := e.Degree, e.Degree/2
 	for i := lo; i < hi; {
 		if i < half || i+deg-half > e.Nodes {
@@ -210,8 +209,8 @@ func (e *Em3d) SeqTime(m costs.Model) int64 {
 
 // Verify compares both field arrays; the computation is barrier-
 // synchronized with a unique writer per node, so it is exact.
-func (e *Em3d) Verify(c *core.Cluster) error {
-	e.runSeq(*c.Config().Model)
+func (e *Em3d) Verify(c Memory) error {
+	e.runSeq(c.Model())
 	for i := 0; i < e.Nodes; i++ {
 		if got := c.ReadSharedF(e.e + i); got != e.seq[i] {
 			return fmt.Errorf("Em3d: E[%d] = %g, want %g", i, got, e.seq[i])

@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -66,7 +65,7 @@ func (g *Gauss) initVal(i, j int) float64 {
 }
 
 // Body runs the parallel elimination.
-func (g *Gauss) Body(p *core.Proc) {
+func (g *Gauss) Body(p Proc) {
 	n, w := g.N, g.rowW()
 	p.BeginInit()
 	if p.ID() == 0 {
@@ -208,8 +207,8 @@ func (g *Gauss) SeqTime(m costs.Model) int64 {
 // Verify compares the solution vector. Every row is eliminated by its
 // single owner in the same order as the reference, so the comparison is
 // exact.
-func (g *Gauss) Verify(c *core.Cluster) error {
-	g.runSeq(*c.Config().Model)
+func (g *Gauss) Verify(c Memory) error {
+	g.runSeq(c.Model())
 	for i, want := range g.seq {
 		if got := c.ReadSharedF(g.sol + i); got != want {
 			return fmt.Errorf("Gauss: x[%d] = %g, want %g", i, got, want)

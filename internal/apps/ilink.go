@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -78,7 +77,7 @@ func (il *Ilink) update(v float64, it int) float64 {
 }
 
 // Body runs the parallel master-slave computation.
-func (il *Ilink) Body(p *core.Proc) {
+func (il *Ilink) Body(p Proc) {
 	p.BeginInit()
 	if p.ID() == 0 {
 		for s := 0; s < il.Slots; s++ {
@@ -192,8 +191,8 @@ func (il *Ilink) SeqTime(m costs.Model) int64 {
 // Verify compares the per-iteration combined results; every slot has a
 // single writer per phase and the master's summation order is fixed, so
 // the comparison is exact.
-func (il *Ilink) Verify(c *core.Cluster) error {
-	il.runSeq(*c.Config().Model)
+func (il *Ilink) Verify(c Memory) error {
+	il.runSeq(c.Model())
 	for it, want := range il.seq {
 		if got := c.ReadSharedF(il.out + it); got != want {
 			return fmt.Errorf("Ilink: result[%d] = %g, want %g", it, got, want)

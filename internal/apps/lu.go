@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -84,7 +83,7 @@ func (l *LU) initVal(i, j int) float64 {
 }
 
 // Body runs the parallel blocked LU factorization.
-func (l *LU) Body(p *core.Proc) {
+func (l *LU) Body(p Proc) {
 	n, nb := l.N, l.nb()
 	p.BeginInit()
 	if p.ID() == 0 {
@@ -171,7 +170,7 @@ func newLUScratch(b int) *luScratch {
 // in-block row i, so the tails move through the range kernels; the
 // floating-point expressions and the fault order (block read before
 // block write) match the scalar version exactly.
-func (l *LU) factorDiag(p *core.Proc, k int, s *luScratch) {
+func (l *LU) factorDiag(p Proc, k int, s *luScratch) {
 	b := l.B
 	base := k * b
 	ops := 0
@@ -201,7 +200,7 @@ func (l *LU) factorDiag(p *core.Proc, k int, s *luScratch) {
 // multiplier load stays first so the diagonal page still faults before
 // the target page, and the kk pivot row loads lazily after the first
 // target row exactly where the scalar version first touched it.
-func (l *LU) solveRow(p *core.Proc, k, j int, s *luScratch) {
+func (l *LU) solveRow(p Proc, k, j int, s *luScratch) {
 	b := l.B
 	rbase, cbase := k*b, j*b
 	ops := 0
@@ -230,7 +229,7 @@ func (l *LU) solveRow(p *core.Proc, k, j int, s *luScratch) {
 // tails are contiguous runs [kk,b); the pivot tail loads first (its
 // first word is the pivot), preserving the diagonal-then-target fault
 // order of the scalar version.
-func (l *LU) solveCol(p *core.Proc, j, k int, s *luScratch) {
+func (l *LU) solveCol(p Proc, j, k int, s *luScratch) {
 	b := l.B
 	rbase, cbase := j*b, k*b
 	ops := 0
@@ -259,7 +258,7 @@ func (l *LU) solveCol(p *core.Proc, j, k int, s *luScratch) {
 // target row loads lazily on the first nonzero multiplier, so a row
 // whose multipliers are all zero touches neither A_ij nor U_kj, exactly
 // like the scalar version.
-func (l *LU) updateInterior(p *core.Proc, i, j, k int, s *luScratch) {
+func (l *LU) updateInterior(p Proc, i, j, k int, s *luScratch) {
 	b := l.B
 	ops := 0
 	for r := 0; r < b; r++ {
@@ -408,8 +407,8 @@ func (l *LU) SeqTime(m costs.Model) int64 {
 // Verify compares the parallel factorization against the reference.
 // Every element is written by exactly one owner in a fixed order, so
 // the comparison is exact.
-func (l *LU) Verify(c *core.Cluster) error {
-	l.runSeq(*c.Config().Model)
+func (l *LU) Verify(c Memory) error {
+	l.runSeq(c.Model())
 	for i, want := range l.seq {
 		if got := c.ReadSharedF(l.mat + i); got != want {
 			return fmt.Errorf("LU: element %d = %g, want %g", i, got, want)

@@ -26,7 +26,7 @@ func Run(app App, cfg core.Config) (core.Result, error) {
 	if err != nil {
 		return core.Result{}, fmt.Errorf("apps: building cluster for %s: %w", app.Name(), err)
 	}
-	res := c.Run(app.Body)
+	res := c.Run(func(p *core.Proc) { app.Body(p) })
 	if err := app.Verify(c); err != nil {
 		return res, fmt.Errorf("apps: %s failed verification under %v: %w", app.Name(), cfg.Protocol, err)
 	}

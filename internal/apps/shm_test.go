@@ -1,0 +1,45 @@
+package apps
+
+import (
+	"testing"
+
+	"cashmere/internal/core"
+	"cashmere/internal/transport"
+)
+
+// TestAppsOverSHMTransport runs the protocol engine over the in-process
+// shared-memory backend (transport/shmchan) instead of the Memory
+// Channel simulator: region writes travel through the lock-free rings
+// and become visible by drain-on-read, so Verify passing end to end
+// checks the backend's visibility guarantees against real protocol
+// traffic. Virtual times are degenerate on this fabric (no contention
+// model), so only correctness is asserted. The CI race lane runs this
+// test under -race.
+func TestAppsOverSHMTransport(t *testing.T) {
+	makers := []func() App{
+		func() App { return SmallSOR() },
+		func() App { return SmallTSP() },
+		func() App { return SmallGauss() },
+	}
+	for _, mk := range makers {
+		app := mk()
+		for _, k := range kindsUnderTest {
+			cfg := smallConfig(k)
+			cfg.Transport = transport.SHM
+			if _, err := Run(mk(), cfg); err != nil {
+				t.Errorf("%s over shm: %v", app.Name(), err)
+			}
+		}
+	}
+}
+
+// TestTCPTransportRejectedByEngine pins the constructor-time error for
+// the transport/engine combination the single-process cluster cannot
+// host (satellite: no panics out of core.New).
+func TestTCPTransportRejectedByEngine(t *testing.T) {
+	cfg := smallConfig(core.TwoLevel)
+	cfg.Transport = transport.TCP
+	if _, err := Run(SmallSOR(), cfg); err == nil {
+		t.Fatal("core.New accepted the tcp transport for the in-process engine")
+	}
+}

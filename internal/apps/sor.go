@@ -3,7 +3,6 @@ package apps
 import (
 	"fmt"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -68,7 +67,7 @@ func (s *SOR) init(store func(addr int, v float64)) {
 }
 
 // initRows is init by whole rows, for the range store kernel.
-func (s *SOR) initRows(p *core.Proc) {
+func (s *SOR) initRows(p Proc) {
 	row := make([]float64, s.Cols)
 	for r := 0; r < s.Rows; r++ {
 		for c := 0; c < s.Cols; c++ {
@@ -83,7 +82,7 @@ func (s *SOR) initRows(p *core.Proc) {
 }
 
 // Body runs the parallel SOR program.
-func (s *SOR) Body(p *core.Proc) {
+func (s *SOR) Body(p Proc) {
 	p.BeginInit()
 	if p.ID() == 0 {
 		s.initRows(p)
@@ -170,8 +169,8 @@ func (s *SOR) SeqTime(m costs.Model) int64 {
 // Verify compares the parallel grid against the reference. SOR is
 // barrier-synchronized and each point has a unique writer per phase, so
 // the comparison is exact.
-func (s *SOR) Verify(c *core.Cluster) error {
-	s.runSeq(*c.Config().Model)
+func (s *SOR) Verify(c Memory) error {
+	s.runSeq(c.Model())
 	for i, want := range s.seq {
 		if got := c.ReadSharedF(s.grid + i); got != want {
 			return fmt.Errorf("SOR: grid[%d] = %g, want %g", i, got, want)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -167,7 +166,7 @@ const (
 const tspInf = int64(1) << 40
 
 // Body runs the parallel branch-and-bound search.
-func (t *TSP) Body(p *core.Proc) {
+func (t *TSP) Body(p Proc) {
 	p.BeginInit()
 	if p.ID() == 0 {
 		for i := 0; i < t.Cities; i++ {
@@ -218,7 +217,7 @@ func (t *TSP) Body(p *core.Proc) {
 // near-optimal leaf through the lock).
 type tspSearch struct {
 	t        *TSP
-	p        *core.Proc
+	p        Proc
 	visited  [64]bool
 	tour     [64]int
 	nodes    int64
@@ -345,8 +344,8 @@ func (t *TSP) SeqTime(m costs.Model) int64 {
 
 // Verify checks that the parallel search found the optimal tour length
 // and that the recorded tour is a valid permutation achieving it.
-func (t *TSP) Verify(c *core.Cluster) error {
-	t.runSeq(*c.Config().Model)
+func (t *TSP) Verify(c Memory) error {
+	t.runSeq(c.Model())
 	got := c.ReadShared(t.best)
 	if got != t.seqBest {
 		return fmt.Errorf("TSP: best = %d, want %d", got, t.seqBest)

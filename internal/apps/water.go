@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"cashmere/internal/core"
 	"cashmere/internal/costs"
 )
 
@@ -81,7 +80,7 @@ func pairForce(dx [3]float64, r2 float64, d int) float64 {
 }
 
 // Body runs the parallel simulation.
-func (w *Water) Body(p *core.Proc) {
+func (w *Water) Body(p Proc) {
 	n := w.N
 	p.BeginInit()
 	if p.ID() == 0 {
@@ -269,8 +268,8 @@ func (w *Water) SeqTime(m costs.Model) int64 {
 // Verify compares final positions with a tolerance: force accumulation
 // order differs between processors (the locked stripes), so results
 // agree only up to floating-point reassociation.
-func (w *Water) Verify(c *core.Cluster) error {
-	w.runSeq(*c.Config().Model)
+func (w *Water) Verify(c Memory) error {
+	w.runSeq(c.Model())
 	for i, want := range w.seqPos {
 		got := c.ReadSharedF(w.pos + i)
 		if err := verifyF("Water pos", i, got, want, 1e-9); err != nil {

@@ -31,7 +31,7 @@ func benchCell(b *testing.B, mk func() apps.App, kind core.Kind) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		c.Run(app.Body)
+		c.Run(func(p *core.Proc) { app.Body(p) })
 	}
 }
 

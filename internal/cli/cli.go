@@ -22,6 +22,7 @@ import (
 type RunOptions struct {
 	App        string
 	Protocol   string
+	Transport  string
 	Nodes      int
 	PPN        int
 	Topology   string
@@ -43,6 +44,7 @@ type RunOptions struct {
 func (o *RunOptions) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.App, "app", "SOR", "application: SOR, LU, Water, TSP, Gauss, Ilink, Em3d, Barnes")
 	fs.StringVar(&o.Protocol, "protocol", "2L", "protocol: 2L, 2LS, 1LD, 1L")
+	fs.StringVar(&o.Transport, "transport", "sim", `fabric backend: "sim" (Memory Channel simulator), "shm" (in-process, no virtual time), or "tcp" (N OS processes over loopback sockets; see docs/TRANSPORT.md)`)
 	fs.IntVar(&o.Nodes, "nodes", 8, "SMP nodes")
 	fs.IntVar(&o.PPN, "ppn", 4, "processors per node")
 	fs.StringVar(&o.Topology, "topology", "", `cluster topology as "procs:procsPerNode", e.g. 128:4 (overrides -nodes/-ppn)`)
@@ -67,6 +69,7 @@ func (o *RunOptions) Register(fs *flag.FlagSet) {
 type BenchOptions struct {
 	Quick      bool
 	All        bool
+	Transport  string
 	Table      string
 	Figure     string
 	Ablation   string
@@ -89,6 +92,7 @@ type BenchOptions struct {
 func (o *BenchOptions) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Quick, "quick", false, "use tiny problem sizes")
 	fs.BoolVar(&o.All, "all", false, "run every table, figure, and ablation")
+	fs.StringVar(&o.Transport, "transport", "sim", `fabric backend for every cell: "sim" or "shm" (the multi-process "tcp" backend runs through cashmere-run only)`)
 	fs.StringVar(&o.Table, "table", "", `table to regenerate: "1", "2", "3", or "costs"`)
 	fs.StringVar(&o.Figure, "figure", "", `figure to regenerate: "6" or "7"`)
 	fs.StringVar(&o.Ablation, "ablation", "", `ablation to run: "shootdown", "lockfree", or "adaptive"`)

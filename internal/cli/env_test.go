@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestMPChildFromEnv(t *testing.T) {
+	t.Run("unset", func(t *testing.T) {
+		if _, _, ok, err := MPChildFromEnv(); ok || err != nil {
+			t.Fatalf("unset variable: ok=%v err=%v", ok, err)
+		}
+	})
+	t.Run("valid", func(t *testing.T) {
+		t.Setenv("CASHMERE_MP_CHILD", "2:4")
+		rank, nodes, ok, err := MPChildFromEnv()
+		if !ok || err != nil || rank != 2 || nodes != 4 {
+			t.Fatalf("got rank=%d nodes=%d ok=%v err=%v, want 2 4 true nil", rank, nodes, ok, err)
+		}
+	})
+	for _, bad := range []string{"", "3", "a:b", "-1:2", "2:2", "0:0"} {
+		t.Run("bad "+bad, func(t *testing.T) {
+			t.Setenv("CASHMERE_MP_CHILD", bad)
+			if _, _, ok, err := MPChildFromEnv(); !ok || err == nil {
+				t.Fatalf("value %q: ok=%v err=%v, want a parse error", bad, ok, err)
+			}
+		})
+	}
+}
+
+func TestMPChildEnvRoundTrip(t *testing.T) {
+	kv := MPChildEnv(1, 3)
+	name, val, _ := strings.Cut(kv, "=")
+	t.Setenv(name, val)
+	rank, nodes, ok, err := MPChildFromEnv()
+	if !ok || err != nil || rank != 1 || nodes != 3 {
+		t.Fatalf("round trip of %q: rank=%d nodes=%d ok=%v err=%v", kv, rank, nodes, ok, err)
+	}
+}
+
+func TestTracePagesFromEnv(t *testing.T) {
+	parse := func(s string) (map[int]bool, error) {
+		return map[int]bool{len(s): true}, nil
+	}
+	t.Run("unset", func(t *testing.T) {
+		if _, _, ok, _ := TracePagesFromEnv(parse); ok {
+			t.Fatal("unset variable reported as set")
+		}
+	})
+	t.Run("set", func(t *testing.T) {
+		t.Setenv("CASHMERE_TRACE_PAGE", "7,12")
+		pages, raw, ok, err := TracePagesFromEnv(parse)
+		if !ok || err != nil || raw != "7,12" || !pages[len(raw)] {
+			t.Fatalf("got pages=%v raw=%q ok=%v err=%v", pages, raw, ok, err)
+		}
+	})
+}
+
+// TestEnvVarsSortedAndNamed keeps the generated documentation stable:
+// every variable is CASHMERE_-prefixed with a usage line, in name
+// order.
+func TestEnvVarsSortedAndNamed(t *testing.T) {
+	vars := EnvVars()
+	if len(vars) == 0 {
+		t.Fatal("no environment variables registered")
+	}
+	if !sort.SliceIsSorted(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name }) {
+		t.Error("EnvVars is not sorted by name")
+	}
+	for _, v := range vars {
+		if !strings.HasPrefix(v.Name, "CASHMERE_") {
+			t.Errorf("%s: not CASHMERE_-prefixed", v.Name)
+		}
+		if v.Usage == "" {
+			t.Errorf("%s: empty usage", v.Name)
+		}
+	}
+}

@@ -25,12 +25,14 @@ import (
 	"cashmere/internal/costs"
 	"cashmere/internal/diff"
 	"cashmere/internal/directory"
-	"cashmere/internal/memchan"
 	"cashmere/internal/msync"
 	"cashmere/internal/sim"
 	"cashmere/internal/stats"
 	"cashmere/internal/topology"
 	"cashmere/internal/trace"
+	"cashmere/internal/transport"
+	"cashmere/internal/transport/shmchan"
+	"cashmere/internal/transport/simchan"
 	"cashmere/internal/vm"
 	"cashmere/internal/wnotice"
 )
@@ -152,6 +154,17 @@ type Config struct {
 	// cluster; it charges no virtual time, so observed and unobserved
 	// runs produce bit-identical statistics.
 	Observer func(*Cluster)
+
+	// Transport selects the fabric backend the cluster's regions and
+	// transfers run over. transport.Sim (the zero value) is the
+	// virtual-time Memory Channel simulator and the only backend the
+	// golden paper configurations are pinned on; transport.SHM runs the
+	// same engine over the in-process shared-memory fabric (no
+	// virtual-time contention modelling). transport.TCP cannot host the
+	// single-process engine — New returns an error directing callers to
+	// the multi-process runtime (internal/mprun, cashmere-run -transport
+	// tcp).
+	Transport transport.Kind
 
 	// Adaptive, when non-nil, attaches an adaptive per-page coherence
 	// policy engine (internal/policy): the protocol feeds it fault and
@@ -285,7 +298,7 @@ type pageMeta struct {
 type Cluster struct {
 	cfg   Config
 	model *costs.Model
-	net   *memchan.Network
+	net   transport.Fabric
 	dir   *directory.Global
 	lay   directory.Layout // word layout, derived from the topology
 	tr    *trace.Tracer    // nil when tracing is disabled
@@ -378,7 +391,16 @@ func New(cfg Config) (*Cluster, error) {
 		})
 	}
 
-	c.net = memchan.New(cfg.Nodes, *c.model)
+	switch cfg.Transport {
+	case transport.Sim:
+		c.net = simchan.New(cfg.Nodes, *c.model)
+	case transport.SHM:
+		c.net = shmchan.New(cfg.Nodes, *c.model)
+	case transport.TCP:
+		return nil, fmt.Errorf("core: the tcp transport connects separate OS processes and cannot host the single-process engine; run it through cashmere-run -transport tcp (internal/mprun)")
+	default:
+		return nil, fmt.Errorf("core: unknown transport %v", cfg.Transport)
+	}
 	c.net.SetTracer(c.tr)
 
 	// The directory's processor fields hold global processor ids, so the
@@ -522,6 +544,9 @@ func (c *Cluster) PageWords() int { return c.cfg.PageWords }
 
 // Config returns the cluster's (filled-in) configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// Model returns the cost model the cluster charges operations under.
+func (c *Cluster) Model() costs.Model { return *c.model }
 
 // Tracer returns the attached protocol-event tracer (which may have
 // been built from CASHMERE_TRACE_PAGE), or nil when tracing is

@@ -75,7 +75,7 @@ func (p *Proc) breakExclusive(page, holderNode, holderProc int) {
 	if !x.frames[page].aliased.Load() {
 		// Flush the entire page to the home node.
 		diff.Copy(c.masters[page], frame)
-		pageBytes := int64(c.cfg.PageWords) * memchanWordBytes
+		pageBytes := int64(c.cfg.PageWords) * wordBytes
 		p.st.Inc(stats.PageFlushes)
 		p.st.Data(pageBytes)
 		arrival := c.net.Transfer(x.phys, pageBytes, p.clk.Now())

@@ -279,7 +279,7 @@ func (p *Proc) fetchPage(page, homeProto int) {
 	c := p.c
 	physHome := c.physOfProto(homeProto)
 	local := physHome == p.n.phys
-	pageBytes := int64(c.cfg.PageWords) * memchanWordBytes
+	pageBytes := int64(c.cfg.PageWords) * wordBytes
 	begin := p.clk.Now()
 
 	p.st.Inc(stats.PageTransfers)
@@ -391,7 +391,7 @@ func (p *Proc) flushBytes(page, changedWords, lo, hi int) {
 	homeProto, _ := c.homeOf(page)
 	physHome := c.physOfProto(homeProto)
 	localDiff := physHome == p.n.phys
-	bytes := int64(changedWords) * memchanWordBytes
+	bytes := int64(changedWords) * wordBytes
 
 	p.chargeProtocol(c.model.OutgoingDiff(changedWords, c.cfg.PageWords, localDiff))
 	p.st.Data(bytes)

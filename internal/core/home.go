@@ -142,7 +142,7 @@ func (c *Cluster) storeDirWord(p *Proc, by, page int, w directory.Word) {
 		c.dir.Store(by, page, w, p.clk.Now())
 	}
 	p.st.Inc(stats.DirectoryUpdates)
-	p.st.Data(memchanWordBytes)
+	p.st.Data(wordBytes)
 	p.emit(trace.EvDirUpdate, page, int64(by), 0)
 }
 

@@ -153,7 +153,7 @@ func (a *PolicyActions) SetMode(page int, mode PageMode) bool {
 	}
 	p.st.Inc(stats.PolicyModeChanges)
 	p.chargeProtocol(c.model.DirectoryUpdate)
-	p.st.Data(memchanWordBytes)
+	p.st.Data(wordBytes)
 	p.emit(trace.EvPolicyMode, page, int64(old), int64(mode))
 	return true
 }
@@ -227,7 +227,7 @@ func (p *Proc) maybeDemoteBroadcast(page int) {
 	}
 	p.st.Inc(stats.PolicyModeChanges)
 	p.chargeProtocol(c.model.DirectoryUpdate)
-	p.st.Data(memchanWordBytes)
+	p.st.Data(wordBytes)
 	p.trace(page, "broadcast demoted by write fault")
 	p.emit(trace.EvPolicyMode, page, int64(ModeBroadcast), int64(ModeInvalidate))
 }
@@ -320,7 +320,7 @@ func (c *Cluster) replicatePage(p *Proc, page int) bool {
 		done = true
 	}
 
-	pageBytes := int64(c.cfg.PageWords) * memchanWordBytes
+	pageBytes := int64(c.cfg.PageWords) * wordBytes
 	p.st.Inc(stats.PageTransfers)
 	p.st.Data(pageBytes)
 	p.chargeProtocol(c.model.PageTransfer(false, c.cfg.Protocol.TwoLevelFamily()))

@@ -5,10 +5,10 @@ import (
 	"sync/atomic"
 
 	"cashmere/internal/directory"
-	"cashmere/internal/memchan"
 	"cashmere/internal/sim"
 	"cashmere/internal/stats"
 	"cashmere/internal/trace"
+	"cashmere/internal/transport"
 	"cashmere/internal/vm"
 	"cashmere/internal/wnotice"
 )
@@ -16,8 +16,8 @@ import (
 // framePtr atomically publishes a page frame to the access fast path.
 type framePtr = atomic.Pointer[[]int64]
 
-// memchanWordBytes is the accounting size of one shared word.
-const memchanWordBytes = memchan.WordBytes
+// wordBytes is the accounting size of one shared word.
+const wordBytes = transport.WordBytes
 
 // tlbSize is the number of direct-mapped entries in each processor's
 // software TLB. Sixteen entries cover the applications' working rows
@@ -216,8 +216,8 @@ func (p *Proc) Store(addr int, v int64) {
 		atomic.StoreInt64(&e.master[off], v)
 		p.clk.Advance(p.c.model.WriteDouble)
 		p.st.Charge(stats.WriteDoubling, p.c.model.WriteDouble)
-		p.doubledBytes += memchanWordBytes
-		p.st.Data(memchanWordBytes)
+		p.doubledBytes += wordBytes
+		p.st.Data(wordBytes)
 	}
 }
 
@@ -283,8 +283,8 @@ func (p *Proc) StoreRange(addr int, src []int64) {
 			d := int64(run) * p.c.model.WriteDouble
 			p.clk.Advance(d)
 			p.st.Charge(stats.WriteDoubling, d)
-			p.doubledBytes += int64(run) * memchanWordBytes
-			p.st.Data(int64(run) * memchanWordBytes)
+			p.doubledBytes += int64(run) * wordBytes
+			p.st.Data(int64(run) * wordBytes)
 		}
 		src = src[run:]
 		addr += run

@@ -49,13 +49,26 @@ func (p *Proc) SetFlag(i int) {
 }
 
 // WaitFlag blocks until flag i is raised, then performs acquire-side
-// consistency actions.
+// consistency actions. Under an adaptive policy engine, waiters that
+// were blocked when the flag was raised — who all resume at the same
+// virtual time — run their acquire actions serially in descending
+// global processor id (the deterministic tie-break for the equal-time
+// wakeup; see msync.Flag.WaitOrdered), with the done handle releasing
+// the next waiter. That removes the Gauss/2L+A bistability the
+// decision gate exposes (docs/ADAPTIVE.md). The non-adaptive
+// protocols keep the free broadcast wakeup whose schedule the golden
+// paper configurations were pinned under.
 func (p *Proc) WaitFlag(i int) {
 	begin := p.clk.Now()
-	t := p.c.flags[i].Wait(p.clk.Now())
+	id := -1 // opt out of the wakeup ordering
+	if p.c.cfg.Adaptive != nil {
+		id = p.global
+	}
+	t, done := p.c.flags[i].WaitOrdered(p.clk.Now(), id)
 	p.chargeWait(t)
 	p.st.Inc(stats.LockAcquires)
 	p.acquireActions()
+	done()
 	p.emitLink(trace.EvMsgDeliver, t, -1, int64(i), 0)
 	p.emitSpan(trace.EvFlagWait, -1, begin, int64(i), 0)
 }
@@ -323,7 +336,7 @@ func (p *Proc) postNotice(x, page int) {
 		p.chargeProtocol(c.model.DirectoryUpdate)
 	}
 	p.st.Inc(stats.WriteNotices)
-	p.st.Data(memchanWordBytes)
+	p.st.Data(wordBytes)
 }
 
 // acquireActions implements the acquire operation of Section 2.4.2.

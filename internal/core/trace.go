@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 
+	"cashmere/internal/cli"
 	"cashmere/internal/trace"
 )
 
@@ -25,17 +26,17 @@ var (
 	envTracePages map[int]bool
 )
 
-// envPageFilter parses CASHMERE_TRACE_PAGE once per process, reporting
-// bad values on stderr.
+// envPageFilter parses CASHMERE_TRACE_PAGE once per process through
+// the cli env-var registry (so the variable is documented alongside
+// the flags), reporting bad values on stderr.
 func envPageFilter() map[int]bool {
 	envTraceOnce.Do(func() {
-		v, ok := os.LookupEnv("CASHMERE_TRACE_PAGE")
-		if !ok {
+		pages, raw, set, err := cli.TracePagesFromEnv(parseTracePages)
+		if !set {
 			return
 		}
-		pages, err := parseTracePages(v)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cashmere: ignoring CASHMERE_TRACE_PAGE=%q: %v\n", v, err)
+			fmt.Fprintf(os.Stderr, "cashmere: ignoring CASHMERE_TRACE_PAGE=%q: %v\n", raw, err)
 			return
 		}
 		envTracePages = pages

@@ -6,7 +6,7 @@ import (
 	"testing/quick"
 
 	"cashmere/internal/costs"
-	"cashmere/internal/memchan"
+	"cashmere/internal/transport/simchan"
 )
 
 func TestWordPacking(t *testing.T) {
@@ -248,12 +248,12 @@ func TestWordFormat(t *testing.T) {
 
 func ident(n int) int { return n }
 
-func newTestGlobal(net *memchan.Network, pages, protoNodes int, physOf func(int) int, lockBased bool) *Global {
+func newTestGlobal(net *simchan.Network, pages, protoNodes int, physOf func(int) int, lockBased bool) *Global {
 	return NewGlobal(net, Packed(), pages, protoNodes, physOf, lockBased)
 }
 
 func TestGlobalStoreLoad(t *testing.T) {
-	net := memchan.New(4, costs.Default())
+	net := simchan.New(4, costs.Default())
 	g := newTestGlobal(net, 10, 4, ident, false)
 	if g.Pages() != 10 || g.ProtoNodes() != 4 {
 		t.Errorf("dims = %d,%d", g.Pages(), g.ProtoNodes())
@@ -282,7 +282,7 @@ func TestGlobalStoreLoad(t *testing.T) {
 }
 
 func TestGlobalSharers(t *testing.T) {
-	net := memchan.New(4, costs.Default())
+	net := simchan.New(4, costs.Default())
 	g := newTestGlobal(net, 4, 4, ident, false)
 	l := g.Layout()
 	g.Store(0, 2, l.WithPerm(0, ReadOnly), 0)
@@ -302,7 +302,7 @@ func TestGlobalSharers(t *testing.T) {
 }
 
 func TestGlobalExclHolder(t *testing.T) {
-	net := memchan.New(4, costs.Default())
+	net := simchan.New(4, costs.Default())
 	g := newTestGlobal(net, 4, 4, ident, false)
 	if _, _, ok := g.ExclHolder(0, 1); ok {
 		t.Error("found exclusive holder on empty directory")
@@ -315,7 +315,7 @@ func TestGlobalExclHolder(t *testing.T) {
 }
 
 func TestGlobalExclHolderOwn(t *testing.T) {
-	net := memchan.New(4, costs.Default())
+	net := simchan.New(4, costs.Default())
 	g := newTestGlobal(net, 4, 4, ident, false)
 	if _, _, ok := g.ExclHolderOwn(1); ok {
 		t.Error("found exclusive holder on empty directory")
@@ -339,7 +339,7 @@ func TestGlobalExclHolderOwn(t *testing.T) {
 }
 
 func TestGlobalHome(t *testing.T) {
-	net := memchan.New(4, costs.Default())
+	net := simchan.New(4, costs.Default())
 	g := newTestGlobal(net, 4, 4, ident, false)
 	if _, ok := g.Home(0, 3); ok {
 		t.Error("found home on empty directory")
@@ -351,7 +351,7 @@ func TestGlobalHome(t *testing.T) {
 }
 
 func TestGlobalLockBased(t *testing.T) {
-	net := memchan.New(2, costs.Default())
+	net := simchan.New(2, costs.Default())
 	g := newTestGlobal(net, 3, 2, ident, true)
 	if !g.LockBased() {
 		t.Error("LockBased() = false")
@@ -377,7 +377,7 @@ func TestGlobalLockBased(t *testing.T) {
 func TestGlobalOneLevelMapping(t *testing.T) {
 	// One-level protocols: 8 protocol nodes (processors) on 2 physical
 	// nodes; reads must hit the reader's physical replica.
-	net := memchan.New(2, costs.Default())
+	net := simchan.New(2, costs.Default())
 	physOf := func(proc int) int { return proc / 4 }
 	g := newTestGlobal(net, 2, 8, physOf, false)
 	g.Store(5, 0, g.Layout().WithPerm(0, ReadOnly), 0) // proc 5 lives on phys node 1
@@ -399,7 +399,7 @@ func TestGlobalWideLayoutLargeCluster(t *testing.T) {
 	if !lay.Wide() {
 		t.Fatal("512-proc cluster chose the packed layout")
 	}
-	net := memchan.New(128, costs.Default())
+	net := simchan.New(128, costs.Default())
 	g := NewGlobal(net, lay, 4, 128, ident, false)
 	w := lay.Make(ReadWrite, 511, 509, true)
 	g.Store(127, 3, w, 0)
@@ -497,7 +497,7 @@ func TestGlobalPackedWideEquivalenceStoreLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := memchan.New(4, costs.Default())
+	net := simchan.New(4, costs.Default())
 	gp := NewGlobal(net, Packed(), 3, 4, ident, false)
 	gw := NewGlobal(net, wide, 3, 4, ident, false)
 	stores := []struct {
@@ -550,7 +550,7 @@ func TestGlobalExclHolderOwnWideLayout(t *testing.T) {
 	if !lay.Wide() {
 		t.Fatal("511-proc cluster chose the packed layout")
 	}
-	net := memchan.New(4, costs.Default())
+	net := simchan.New(4, costs.Default())
 	g := NewGlobal(net, lay, 4, 4, ident, false)
 	if _, _, ok := g.ExclHolderOwn(1); ok {
 		t.Error("found exclusive holder on empty directory")

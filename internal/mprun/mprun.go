@@ -1,0 +1,626 @@
+// Package mprun is the multi-process DSM runtime: it runs the
+// benchmark applications across separate OS processes connected by a
+// transport.Messenger (the TCP mesh of transport/tcpchan, or the
+// in-process mesh of transport/shmchan for tests), speaking the wire
+// frames of transport/wire. Where the simulator engine (internal/core)
+// models the paper's protocols against a virtual clock, mprun executes
+// a real home-based software-coherence protocol with actual
+// concurrency: pages live on statically-assigned homes, writers track
+// dirty words and flush run-encoded diffs at release operations, homes
+// eagerly invalidate sharers with write notices, and all application
+// synchronization funnels through a rank-0 coordinator.
+//
+// # Protocol
+//
+// Page p is homed on rank p % nodes. A processor's first access to a
+// page fetches a copy from its home (TPageReq/TPageReply) and registers
+// the node as a sharer. Stores are applied to the node's copy and the
+// written words recorded. At every release operation (Unlock, Barrier,
+// SetFlag, and once after the application body returns) the node sends
+// each dirty page's modifications to its home as a run-encoded TDiff;
+// the home applies the runs to the authoritative copy, sends a
+// TWriteNotice to every other sharer, and answers the flusher with a
+// TFlushAck once every notice is acknowledged. The flusher's release
+// operation does not complete until every flushed page is acknowledged,
+// so by the time a matching acquire can succeed anywhere, every stale
+// copy has been invalidated — the same eager release consistency
+// argument the paper's protocols make, at node granularity.
+//
+// A page that is invalidated while it holds unflushed local writes is
+// refetched on next access and the local dirty words are re-applied
+// over the fresh copy, mirroring the diff-merge of concurrent
+// fine-grained sharing: two nodes writing disjoint words of one page
+// between the same pair of synchronization operations both win.
+//
+// # Synchronization
+//
+// Rank 0 coordinates locks (FIFO grant queues per lock id) and
+// barriers (count arrivals per generation, broadcast the release).
+// Flags are broadcast by the setter after its flush. Messages from one
+// rank are delivered in order; the handler runs single-threaded per
+// node (the Messenger contract), so protocol state needs no locking
+// against concurrent frames — only against the node's processor
+// goroutines.
+package mprun
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/costs"
+	"cashmere/internal/transport"
+	"cashmere/internal/transport/wire"
+)
+
+// Config shapes one node's share of a multi-process run.
+type Config struct {
+	// Rank is this node's rank; Nodes the total node (process) count.
+	Rank, Nodes int
+	// PPN is the number of processor goroutines this node hosts.
+	PPN int
+	// PageWords is the coherence unit in 64-bit words (0 = the
+	// applications' default).
+	PageWords int
+	// Model is carried for the applications' Verify (sequential
+	// reference regeneration); no virtual time is charged.
+	Model costs.Model
+}
+
+// Run executes app across the mesh from this node's perspective: it
+// installs the protocol handler on m, runs PPN processor goroutines
+// through app.Body, and participates in the run-ending handshake. On
+// rank 0 it additionally verifies the final shared memory against the
+// sequential reference and broadcasts TBye; other ranks block until
+// the TBye arrives. The caller retains ownership of m and must Close
+// it after Run returns.
+func Run(app apps.App, cfg Config, m transport.Messenger) error {
+	if cfg.Nodes != m.Peers() {
+		return fmt.Errorf("mprun: config says %d nodes but the mesh has %d", cfg.Nodes, m.Peers())
+	}
+	if cfg.Rank != m.Self() {
+		return fmt.Errorf("mprun: config says rank %d but the mesh says %d", cfg.Rank, m.Self())
+	}
+	if cfg.PPN <= 0 {
+		return fmt.Errorf("mprun: need at least one processor per node, got %d", cfg.PPN)
+	}
+	shape := app.Shape()
+	words := shape.SharedWords
+	if words == 0 {
+		words = 1
+	}
+	pageWords := cfg.PageWords
+	if pageWords <= 0 {
+		pageWords = apps.PageWords
+	}
+	n := &node{
+		cfg:       cfg,
+		m:         m,
+		pageWords: pageWords,
+		nPages:    (words + pageWords - 1) / pageWords,
+		words:     words,
+		flags:     make([]bool, shape.Flags),
+		cache:     make(map[int]*cpage),
+		home:      make(map[int]*hpage),
+		granted:   make(map[int64]bool),
+		pending:   make(map[pendKey]*pend),
+		lockHeld:  make(map[int64]bool),
+		lockQ:     make(map[int64][]waiter),
+		arrivals:  make(map[int64]int),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	for p := 0; p < n.nPages; p++ {
+		if p%cfg.Nodes == cfg.Rank {
+			n.home[p] = &hpage{data: make([]int64, pageWords), sharers: make(map[int]bool)}
+		}
+	}
+	m.SetHandler(n.handle)
+
+	var wg sync.WaitGroup
+	for local := 0; local < cfg.PPN; local++ {
+		wg.Add(1)
+		go func(local int) {
+			defer wg.Done()
+			p := &proc{n: n, gpid: cfg.Rank*cfg.PPN + local}
+			app.Body(p)
+			// Publish any writes the body left unflushed and hold every
+			// node here until the whole cluster is done.
+			p.Barrier()
+		}(local)
+	}
+	wg.Wait()
+
+	if cfg.Rank == 0 {
+		verr := app.Verify(&memView{n: n})
+		for r := 0; r < cfg.Nodes; r++ {
+			if err := n.m.Send(r, wire.Frame{Type: wire.TBye}); err != nil {
+				return fmt.Errorf("mprun: broadcasting bye: %w", err)
+			}
+		}
+		n.mu.Lock()
+		for !n.bye {
+			n.cond.Wait()
+		}
+		n.mu.Unlock()
+		if verr != nil {
+			return fmt.Errorf("mprun: %s failed verification: %w", app.Name(), verr)
+		}
+		return nil
+	}
+	n.mu.Lock()
+	for !n.bye {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// cpage is a node's cached copy of one page.
+type cpage struct {
+	valid     bool
+	requested bool
+	data      []int64
+	// dirty maps locally-written word offsets to their values since the
+	// last flush; preserved across invalidation and re-applied over a
+	// refetched copy.
+	dirty map[int]int64
+}
+
+// hpage is the authoritative copy at a page's home with its sharer set.
+type hpage struct {
+	data    []int64
+	sharers map[int]bool
+}
+
+type pendKey struct {
+	page  int64
+	token int64
+}
+
+// pend tracks a TDiff awaiting write-notice acknowledgements.
+type pend struct {
+	remaining int
+	flusher   int
+}
+
+type waiter struct {
+	node int
+	gpid int64
+}
+
+// node is one process's share of the DSM: page cache, homed pages, and
+// (on rank 0) the coordinator state. The handler goroutine and the
+// processor goroutines synchronize on mu/cond.
+type node struct {
+	cfg       Config
+	m         transport.Messenger
+	pageWords int
+	nPages    int
+	words     int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	cache map[int]*cpage
+	home  map[int]*hpage
+	// pending tracks diffs this home is collecting notice acks for.
+	pending map[pendKey]*pend
+	// flushOut counts this node's diffs whose TFlushAck has not arrived
+	// yet. A release operation completes only when it reaches zero, so
+	// one processor's release can never outrun another local
+	// processor's still-propagating invalidations (the node-grain cache
+	// means a flush carries every local processor's writes).
+	flushOut int
+	tokenSeq int64
+
+	flags   []bool
+	granted map[int64]bool // gpid -> lock grant delivered
+	barRel  int64          // highest released barrier generation
+	bye     bool
+
+	// Coordinator state, used on rank 0 only.
+	lockHeld map[int64]bool
+	lockQ    map[int64][]waiter
+	arrivals map[int64]int
+}
+
+func (n *node) homeOf(page int) int { return page % n.cfg.Nodes }
+
+func (n *node) send(to int, f wire.Frame) {
+	if err := n.m.Send(to, f); err != nil {
+		// A failed send is unrecoverable mid-protocol: peers would hang
+		// on state that can no longer arrive. Fail loudly.
+		panic(fmt.Sprintf("mprun: rank %d: %v", n.cfg.Rank, err))
+	}
+}
+
+// handle processes one incoming frame. The Messenger delivers frames
+// single-threaded, so this is the only goroutine mutating home and
+// coordinator state.
+func (n *node) handle(from int, f wire.Frame) {
+	switch f.Type {
+	case wire.TPageReq:
+		n.mu.Lock()
+		hp := n.home[int(f.A)]
+		if hp == nil {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("mprun: rank %d asked for page %d, homed on rank %d", n.cfg.Rank, f.A, n.homeOf(int(f.A))))
+		}
+		data := append([]int64(nil), hp.data...)
+		hp.sharers[from] = true
+		n.mu.Unlock()
+		n.send(from, wire.Frame{Type: wire.TPageReply, A: f.A, Words: data})
+
+	case wire.TPageReply:
+		n.mu.Lock()
+		cp := n.cache[int(f.A)]
+		if cp != nil && cp.requested {
+			copy(cp.data, f.Words)
+			for off, v := range cp.dirty {
+				cp.data[off] = v
+			}
+			cp.valid = true
+			cp.requested = false
+		}
+		n.mu.Unlock()
+		n.cond.Broadcast()
+
+	case wire.TDiff:
+		n.mu.Lock()
+		hp := n.home[int(f.A)]
+		at := 0
+		for i := 0; i+1 < len(f.Offs); i += 2 {
+			start, count := int(f.Offs[i]), int(f.Offs[i+1])
+			copy(hp.data[start:start+count], f.Words[at:at+count])
+			at += count
+		}
+		var notify []int
+		for s := range hp.sharers {
+			if s != from {
+				notify = append(notify, s)
+			}
+		}
+		// Every copy out there is now stale: sharers restart from a
+		// fresh fetch (the flusher invalidated its own copy at flush).
+		hp.sharers = make(map[int]bool)
+		if len(notify) > 0 {
+			n.pending[pendKey{f.A, f.B}] = &pend{remaining: len(notify), flusher: from}
+		}
+		n.mu.Unlock()
+		if len(notify) == 0 {
+			n.send(from, wire.Frame{Type: wire.TFlushAck, A: f.A, B: f.B})
+			return
+		}
+		sort.Ints(notify)
+		for _, s := range notify {
+			n.send(s, wire.Frame{Type: wire.TWriteNotice, A: f.A, B: f.B})
+		}
+
+	case wire.TWriteNotice:
+		n.mu.Lock()
+		if cp := n.cache[int(f.A)]; cp != nil {
+			cp.valid = false
+		}
+		n.mu.Unlock()
+		n.send(from, wire.Frame{Type: wire.TNoticeAck, A: f.A, B: f.B})
+
+	case wire.TNoticeAck:
+		n.mu.Lock()
+		key := pendKey{f.A, f.B}
+		p := n.pending[key]
+		p.remaining--
+		var flusher = -1
+		if p.remaining == 0 {
+			flusher = p.flusher
+			delete(n.pending, key)
+		}
+		n.mu.Unlock()
+		if flusher >= 0 {
+			n.send(flusher, wire.Frame{Type: wire.TFlushAck, A: f.A, B: f.B})
+		}
+
+	case wire.TFlushAck:
+		n.mu.Lock()
+		n.flushOut--
+		n.mu.Unlock()
+		n.cond.Broadcast()
+
+	case wire.TBarArrive:
+		n.mu.Lock()
+		n.arrivals[f.A]++
+		release := n.arrivals[f.A] == n.cfg.Nodes*n.cfg.PPN
+		if release {
+			delete(n.arrivals, f.A)
+		}
+		n.mu.Unlock()
+		if release {
+			for r := 0; r < n.cfg.Nodes; r++ {
+				n.send(r, wire.Frame{Type: wire.TBarRelease, A: f.A})
+			}
+		}
+
+	case wire.TBarRelease:
+		n.mu.Lock()
+		if f.A > n.barRel {
+			n.barRel = f.A
+		}
+		n.mu.Unlock()
+		n.cond.Broadcast()
+
+	case wire.TLockReq:
+		n.mu.Lock()
+		var grant bool
+		if !n.lockHeld[f.A] {
+			n.lockHeld[f.A] = true
+			grant = true
+		} else {
+			n.lockQ[f.A] = append(n.lockQ[f.A], waiter{node: from, gpid: f.B})
+		}
+		n.mu.Unlock()
+		if grant {
+			n.send(from, wire.Frame{Type: wire.TLockGrant, A: f.A, B: f.B})
+		}
+
+	case wire.TLockGrant:
+		n.mu.Lock()
+		n.granted[f.B] = true
+		n.mu.Unlock()
+		n.cond.Broadcast()
+
+	case wire.TLockRelease:
+		n.mu.Lock()
+		var next waiter
+		var grant bool
+		if q := n.lockQ[f.A]; len(q) > 0 {
+			next, n.lockQ[f.A] = q[0], q[1:]
+			grant = true
+		} else {
+			n.lockHeld[f.A] = false
+		}
+		n.mu.Unlock()
+		if grant {
+			n.send(next.node, wire.Frame{Type: wire.TLockGrant, A: f.A, B: next.gpid})
+		}
+
+	case wire.TFlagSet:
+		n.mu.Lock()
+		n.flags[f.A] = true
+		n.mu.Unlock()
+		n.cond.Broadcast()
+
+	case wire.TBye:
+		n.mu.Lock()
+		n.bye = true
+		n.mu.Unlock()
+		n.cond.Broadcast()
+
+	default:
+		panic(fmt.Sprintf("mprun: rank %d received unexpected %v frame", n.cfg.Rank, f.Type))
+	}
+}
+
+// ensureLocked makes page p's cached copy valid, requesting it from its
+// home as needed; called and returns with n.mu held.
+func (n *node) ensureLocked(p int) *cpage {
+	cp := n.cache[p]
+	if cp == nil {
+		cp = &cpage{data: make([]int64, n.pageWords), dirty: make(map[int]int64)}
+		n.cache[p] = cp
+	}
+	for !cp.valid {
+		if !cp.requested {
+			cp.requested = true
+			n.send(n.homeOf(p), wire.Frame{Type: wire.TPageReq, A: int64(p)})
+		}
+		n.cond.Wait()
+	}
+	return cp
+}
+
+func (n *node) load(addr int) int64 {
+	p, off := addr/n.pageWords, addr%n.pageWords
+	n.mu.Lock()
+	cp := n.ensureLocked(p)
+	v := cp.data[off]
+	n.mu.Unlock()
+	return v
+}
+
+func (n *node) store(addr int, v int64) {
+	p, off := addr/n.pageWords, addr%n.pageWords
+	n.mu.Lock()
+	cp := n.ensureLocked(p)
+	cp.data[off] = v
+	cp.dirty[off] = v
+	n.mu.Unlock()
+}
+
+// flush publishes every dirty page to its home and waits until each
+// home confirms that all stale copies have been invalidated. It is the
+// release operation's write-back; the caller performs the matching
+// release message only after flush returns.
+func (n *node) flush() {
+	n.mu.Lock()
+	n.tokenSeq++
+	token := int64(n.cfg.Rank)<<32 | n.tokenSeq
+	type outDiff struct {
+		page int
+		f    wire.Frame
+	}
+	var diffs []outDiff
+	for p, cp := range n.cache {
+		if len(cp.dirty) == 0 {
+			continue
+		}
+		offs := make([]int, 0, len(cp.dirty))
+		for off := range cp.dirty {
+			offs = append(offs, off)
+		}
+		sort.Ints(offs)
+		f := wire.Frame{Type: wire.TDiff, A: int64(p), B: token}
+		for i := 0; i < len(offs); {
+			j := i + 1
+			for j < len(offs) && offs[j] == offs[j-1]+1 {
+				j++
+			}
+			f.Offs = append(f.Offs, int32(offs[i]), int32(j-i))
+			for k := i; k < j; k++ {
+				f.Words = append(f.Words, cp.dirty[offs[k]])
+			}
+			i = j
+		}
+		cp.dirty = make(map[int]int64)
+		// Our copy may be missing other nodes' concurrent writes the
+		// home has merged; refetch on next access.
+		cp.valid = false
+		diffs = append(diffs, outDiff{page: p, f: f})
+	}
+	n.flushOut += len(diffs)
+	for _, d := range diffs {
+		n.send(n.homeOf(d.page), d.f)
+	}
+	// Wait for every outstanding flush of this node, not just our own
+	// diffs: a release may carry no dirty words itself yet must still
+	// fence behind another local processor's in-flight invalidations.
+	for n.flushOut > 0 {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// proc is one processor goroutine's view of the DSM; it implements
+// apps.Proc.
+type proc struct {
+	n      *node
+	gpid   int
+	barGen int64
+}
+
+var _ apps.Proc = (*proc)(nil)
+
+func (p *proc) ID() int     { return p.gpid }
+func (p *proc) NProcs() int { return p.n.cfg.Nodes * p.n.cfg.PPN }
+
+func (p *proc) Load(addr int) int64     { return p.n.load(addr) }
+func (p *proc) Store(addr int, v int64) { p.n.store(addr, v) }
+
+func (p *proc) LoadF(addr int) float64 { return math.Float64frombits(uint64(p.n.load(addr))) }
+func (p *proc) StoreF(addr int, v float64) {
+	p.n.store(addr, int64(math.Float64bits(v)))
+}
+
+func (p *proc) LoadFRow(dst []float64, addr int) {
+	for i := range dst {
+		dst[i] = p.LoadF(addr + i)
+	}
+}
+
+func (p *proc) StoreFRow(addr int, src []float64) {
+	for i, v := range src {
+		p.StoreF(addr+i, v)
+	}
+}
+
+// Compute is a no-op: the multi-process runtime runs in real time and
+// charges no virtual clock.
+func (p *proc) Compute(ns, busBytes int64) {}
+
+// Poll and PollN are no-ops: requests are served by the handler
+// goroutine, not by polling processors.
+func (p *proc) Poll()         {}
+func (p *proc) PollN(n int64) {}
+
+// Lock acquires application lock i through the rank-0 coordinator.
+func (p *proc) Lock(i int) {
+	n := p.n
+	n.send(0, wire.Frame{Type: wire.TLockReq, A: int64(i), B: int64(p.gpid)})
+	n.mu.Lock()
+	for !n.granted[int64(p.gpid)] {
+		n.cond.Wait()
+	}
+	delete(n.granted, int64(p.gpid))
+	n.mu.Unlock()
+}
+
+// Unlock releases lock i: dirty pages are flushed before the grant can
+// pass to the next holder.
+func (p *proc) Unlock(i int) {
+	p.n.flush()
+	p.n.send(0, wire.Frame{Type: wire.TLockRelease, A: int64(i), B: int64(p.gpid)})
+}
+
+// SetFlag raises flag i for the whole cluster after flushing, so a
+// woken waiter finds the protected data at its home.
+func (p *proc) SetFlag(i int) {
+	n := p.n
+	n.flush()
+	for r := 0; r < n.cfg.Nodes; r++ {
+		n.send(r, wire.Frame{Type: wire.TFlagSet, A: int64(i)})
+	}
+}
+
+// WaitFlag blocks until flag i is raised.
+func (p *proc) WaitFlag(i int) {
+	n := p.n
+	n.mu.Lock()
+	for !n.flags[i] {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// Barrier flushes and waits for every processor in the cluster.
+func (p *proc) Barrier() {
+	n := p.n
+	n.flush()
+	p.barGen++
+	n.send(0, wire.Frame{Type: wire.TBarArrive, A: p.barGen, B: int64(p.gpid)})
+	n.mu.Lock()
+	for n.barRel < p.barGen {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// BeginInit and EndInit bracket the initialization epoch with the same
+// barrier pairs the simulator engine uses, which is what makes proc
+// 0's initialization writes visible everywhere before the body starts.
+// There is no virtual clock to pause here.
+func (p *proc) BeginInit() {
+	p.Barrier()
+	p.Barrier()
+}
+
+func (p *proc) EndInit() {
+	p.Barrier()
+	p.Barrier()
+}
+
+// Warmup runs f inside the engine's barrier bracket; with no virtual
+// clock there is nothing to uncharge.
+func (p *proc) Warmup(f func()) {
+	p.Barrier()
+	p.Barrier()
+	f()
+	p.Barrier()
+	p.Barrier()
+}
+
+// memView is rank 0's post-run read of the shared space for Verify: it
+// fetches pages through the normal protocol (every final value is at
+// its home after the closing barrier).
+type memView struct {
+	n *node
+}
+
+var _ apps.Memory = (*memView)(nil)
+
+func (v *memView) Model() costs.Model { return v.n.cfg.Model }
+
+func (v *memView) ReadShared(addr int) int64 { return v.n.load(addr) }
+
+func (v *memView) ReadSharedF(addr int) float64 {
+	return math.Float64frombits(uint64(v.n.load(addr)))
+}

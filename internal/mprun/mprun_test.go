@@ -1,0 +1,111 @@
+package mprun
+
+import (
+	"sync"
+	"testing"
+
+	"cashmere/internal/apps"
+	"cashmere/internal/costs"
+	"cashmere/internal/transport/shmchan"
+)
+
+// runMesh executes app across nodes in-process goroutine "processes"
+// connected by the shm messenger mesh, and fails on any node error.
+// This is the full multi-process protocol — wire frames, homes, diffs,
+// notices, coordinator — minus the TCP sockets, so it runs under the
+// race detector in the ordinary test suite.
+func runMesh(t *testing.T, app func() apps.App, nodes, ppn int) {
+	t.Helper()
+	mesh := shmchan.NewMesh(nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for r := 0; r < nodes; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := Config{Rank: r, Nodes: nodes, PPN: ppn, Model: costs.Default()}
+			errs[r] = Run(app(), cfg, mesh.Endpoint(r))
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < nodes; r++ {
+		mesh.Endpoint(r).Close()
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestSORBarriers(t *testing.T) {
+	runMesh(t, func() apps.App { return apps.SmallSOR() }, 2, 2)
+}
+
+func TestTSPLocks(t *testing.T) {
+	runMesh(t, func() apps.App { return apps.SmallTSP() }, 2, 2)
+}
+
+func TestGaussFlags(t *testing.T) {
+	runMesh(t, func() apps.App { return apps.SmallGauss() }, 2, 2)
+}
+
+func TestLU(t *testing.T) {
+	runMesh(t, func() apps.App { return apps.SmallLU() }, 2, 2)
+}
+
+// smallByName constructs a fresh small instance per rank: application
+// values carry per-run state, so mesh ranks cannot share one.
+var smallByName = map[string]func() apps.App{
+	"SOR":    func() apps.App { return apps.SmallSOR() },
+	"LU":     func() apps.App { return apps.SmallLU() },
+	"Water":  func() apps.App { return apps.SmallWater() },
+	"TSP":    func() apps.App { return apps.SmallTSP() },
+	"Gauss":  func() apps.App { return apps.SmallGauss() },
+	"Ilink":  func() apps.App { return apps.SmallIlink() },
+	"Em3d":   func() apps.App { return apps.SmallEm3d() },
+	"Barnes": func() apps.App { return apps.SmallBarnes() },
+}
+
+// TestFullSuiteTwoNodes runs all eight applications on a 2x1 mesh —
+// every sharing pattern over the real protocol.
+func TestFullSuiteTwoNodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	for _, app := range apps.Small() {
+		mk, ok := smallByName[app.Name()]
+		if !ok {
+			t.Fatalf("no small constructor for %s", app.Name())
+		}
+		t.Run(app.Name(), func(t *testing.T) {
+			runMesh(t, mk, 2, 1)
+		})
+	}
+}
+
+func TestThreeNodesUnevenProcs(t *testing.T) {
+	runMesh(t, func() apps.App { return apps.SmallSOR() }, 3, 2)
+}
+
+func TestSingleNode(t *testing.T) {
+	runMesh(t, func() apps.App { return apps.SmallSOR() }, 1, 2)
+}
+
+func TestConfigValidation(t *testing.T) {
+	mesh := shmchan.NewMesh(2)
+	defer mesh.Endpoint(0).Close()
+	defer mesh.Endpoint(1).Close()
+	cfg := Config{Rank: 0, Nodes: 3, PPN: 1, Model: costs.Default()}
+	if err := Run(apps.SmallSOR(), cfg, mesh.Endpoint(0)); err == nil {
+		t.Error("Run accepted a node count disagreeing with the mesh")
+	}
+	cfg = Config{Rank: 1, Nodes: 2, PPN: 1, Model: costs.Default()}
+	if err := Run(apps.SmallSOR(), cfg, mesh.Endpoint(0)); err == nil {
+		t.Error("Run accepted a rank disagreeing with the mesh")
+	}
+	cfg = Config{Rank: 0, Nodes: 2, PPN: 0, Model: costs.Default()}
+	if err := Run(apps.SmallSOR(), cfg, mesh.Endpoint(0)); err == nil {
+		t.Error("Run accepted zero processors per node")
+	}
+}

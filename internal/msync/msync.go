@@ -32,23 +32,25 @@
 // synchronization), and each primitive must be fully constructed before
 // it is shared. Contention races are resolved by host mutexes inside
 // sim.VLock/sim.Rendezvous/sim.VFlag; the Memory Channel array and cell
-// writes are atomic through memchan.Region.
+// writes are atomic through transport.Region.
 package msync
 
 import (
-	"cashmere/internal/memchan"
 	"cashmere/internal/sim"
 	"cashmere/internal/trace"
+	"cashmere/internal/transport"
+	"sort"
+	"sync"
 )
 
 // Lock is a cluster-wide application lock.
 type Lock struct {
-	array *memchan.Region // one entry per node, loop-back enabled
+	array transport.Region // one entry per node, loop-back enabled
 	v     sim.VLock
 }
 
 // NewLock allocates a lock's entry array on the network.
-func NewLock(net *memchan.Network) *Lock {
+func NewLock(net transport.Fabric) *Lock {
 	return &Lock{array: net.NewRegion(net.Nodes(), true)}
 }
 
@@ -101,22 +103,42 @@ func (b *Barrier) Wait(now int64) int64 {
 func (b *Barrier) Parties() int { return b.r.Parties() }
 
 // Flag is a cluster-wide set-once notification flag.
+//
+// Waiters blocked on an unset flag all resume at the same virtual time
+// (the set's global visibility), so the order their post-wakeup
+// protocol actions run in is a genuine virtual-time tie. WaitOrdered
+// breaks the tie deterministically: the processors found blocked at
+// the Set instant form a cohort that proceeds one at a time in
+// descending waiter id, each releasing the next with its done handle.
+// Virtual times are unchanged — only the host-schedule freedom of the
+// equal-time wakeups is removed, so results stop being bistable (the
+// Gauss pivot-row flags were the motivating case; see docs/ADAPTIVE.md).
 type Flag struct {
-	f    *sim.VFlag
-	cell *memchan.Region
+	cell transport.Region
 	wlat int64
 	// resetVis is the global visibility time of the most recent Reset's
 	// clearing write; a later Set can never become visible before it.
 	resetVis int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	set  bool
+	vis  int64 // global visibility time of the set, valid when set
+	// blocked holds the ids of WaitOrdered callers parked on the unset
+	// flag; at Set they become the cohort, drained in descending id.
+	blocked map[int]struct{}
+	cohort  []int
 }
 
 // NewFlag allocates a flag cell on the network.
-func NewFlag(net *memchan.Network) *Flag {
-	return &Flag{
-		f:    sim.NewVFlag(),
-		cell: net.NewRegion(1, true),
-		wlat: net.Model().MCWriteLatency,
+func NewFlag(net transport.Fabric) *Flag {
+	fl := &Flag{
+		cell:    net.NewRegion(1, true),
+		wlat:    net.Model().MCWriteLatency,
+		blocked: make(map[int]struct{}),
 	}
+	fl.cond = sync.NewCond(&fl.mu)
+	return fl
 }
 
 // Set raises the flag from node at virtual time now. The flag becomes
@@ -127,22 +149,89 @@ func (fl *Flag) Set(node int, now int64) {
 	if visible < fl.resetVis {
 		visible = fl.resetVis
 	}
-	fl.f.Set(visible)
+	fl.mu.Lock()
+	if !fl.set {
+		fl.set = true
+		fl.vis = visible
+		// Snapshot the blocked waiters as the ordered wakeup cohort.
+		// Descending id matches the schedule the golden paper configs
+		// were pinned under (cond.Broadcast wakes the most recent
+		// waiter first on the host runtime), so fixing the order keeps
+		// the pinned virtual times bit-identical while removing the
+		// host-schedule freedom.
+		fl.cohort = fl.cohort[:0]
+		for id := range fl.blocked {
+			fl.cohort = append(fl.cohort, id)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(fl.cohort)))
+		clear(fl.blocked)
+	}
+	fl.mu.Unlock()
+	fl.cond.Broadcast()
 	emitMsgSpan(fl.cell, node, now, visible-now, trace.MsgFlagSet)
 }
 
 // Wait blocks until the flag is set and returns the earliest virtual
 // time the waiter can have observed it: max(now, global visibility).
 func (fl *Flag) Wait(now int64) int64 {
-	vis := fl.f.Wait()
-	if vis > now {
-		return vis
+	t, done := fl.WaitOrdered(now, -1)
+	done()
+	return t
+}
+
+// WaitOrdered blocks until the flag is set and returns the earliest
+// virtual time the waiter can have observed it, plus a done handle the
+// caller must invoke after its acquire-side actions. Callers that were
+// blocked when the flag was set resume one at a time in descending id —
+// the deterministic tie-break for their equal virtual resume times —
+// and done releases the next of them. Callers that find the flag
+// already set are not part of the tie and proceed immediately (their
+// done is a no-op). A negative id opts out of the ordering.
+func (fl *Flag) WaitOrdered(now int64, id int) (t int64, done func()) {
+	fl.mu.Lock()
+	if !fl.set && id >= 0 {
+		fl.blocked[id] = struct{}{}
+		for !fl.set {
+			fl.cond.Wait()
+		}
+		// We are in the cohort: wait for our turn.
+		for len(fl.cohort) > 0 && fl.cohort[0] != id {
+			fl.cond.Wait()
+		}
+		vis := fl.vis
+		fl.mu.Unlock()
+		if vis > now {
+			now = vis
+		}
+		return now, func() { fl.releaseTurn(id) }
 	}
-	return now
+	for !fl.set {
+		fl.cond.Wait()
+	}
+	vis := fl.vis
+	fl.mu.Unlock()
+	if vis > now {
+		now = vis
+	}
+	return now, func() {}
+}
+
+// releaseTurn pops id from the cohort head and wakes the next member.
+func (fl *Flag) releaseTurn(id int) {
+	fl.mu.Lock()
+	if len(fl.cohort) > 0 && fl.cohort[0] == id {
+		fl.cohort = fl.cohort[1:]
+	}
+	fl.mu.Unlock()
+	fl.cond.Broadcast()
 }
 
 // IsSet reports whether the flag has been raised.
-func (fl *Flag) IsSet() bool { return fl.f.IsSet() }
+func (fl *Flag) IsSet() bool {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.set
+}
 
 // Reset returns the flag to the unset state at virtual time now; no
 // waiter may be active, and Reset must be serialized with Set. The
@@ -151,18 +240,22 @@ func (fl *Flag) IsSet() bool { return fl.f.IsSet() }
 // re-raised flag report visibility earlier than the reset itself.
 func (fl *Flag) Reset(node int, now int64) {
 	fl.resetVis = fl.cell.Write(node, 0, 0, now)
-	fl.f.Reset()
+	fl.mu.Lock()
+	fl.set = false
+	fl.vis = 0
+	fl.cohort = fl.cohort[:0]
+	fl.mu.Unlock()
 	emitMsg(fl.cell, node, now, trace.MsgFlagReset)
 }
 
 // emitMsg records a synchronization message on node's link track of the
 // region's network tracer, if one is attached.
-func emitMsg(r *memchan.Region, node int, vt int64, sub int64) {
+func emitMsg(r transport.Region, node int, vt int64, sub int64) {
 	emitMsgSpan(r, node, vt, 0, sub)
 }
 
-func emitMsgSpan(r *memchan.Region, node int, vt, dur int64, sub int64) {
-	tr := r.Network().Tracer()
+func emitMsgSpan(r transport.Region, node int, vt, dur int64, sub int64) {
+	tr := r.Fabric().Tracer()
 	if tr == nil {
 		return
 	}

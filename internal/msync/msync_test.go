@@ -5,10 +5,10 @@ import (
 	"testing"
 
 	"cashmere/internal/costs"
-	"cashmere/internal/memchan"
+	"cashmere/internal/transport/simchan"
 )
 
-func newNet() *memchan.Network { return memchan.New(4, costs.Default()) }
+func newNet() *simchan.Network { return simchan.New(4, costs.Default()) }
 
 func TestLockUncontended(t *testing.T) {
 	l := NewLock(newNet())

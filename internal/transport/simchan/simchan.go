@@ -1,5 +1,9 @@
-// Package memchan simulates DEC's Memory Channel: a low-latency
-// remote-write cluster interconnect (Gillett, IEEE Micro 1996).
+// Package simchan simulates DEC's Memory Channel: a low-latency
+// remote-write cluster interconnect (Gillett, IEEE Micro 1996). It is
+// the virtual-time backend of the transport contract
+// (internal/transport) — the fabric the paper's protocols are
+// evaluated on, and the only backend whose results are pinned
+// bit-identical by the golden paper configurations.
 //
 // The simulation preserves the four properties the Cashmere protocols
 // depend on (paper Section 2.1):
@@ -40,7 +44,7 @@
 // bandwidth accounting through the sim.Bus mutexes. SetTracer is the
 // one exception: it must be called before the network carries traffic
 // (New in internal/core calls it during cluster construction).
-package memchan
+package simchan
 
 import (
 	"fmt"
@@ -49,6 +53,7 @@ import (
 	"cashmere/internal/costs"
 	"cashmere/internal/sim"
 	"cashmere/internal/trace"
+	"cashmere/internal/transport"
 )
 
 // Network is a simulated Memory Channel connecting a fixed set of nodes.
@@ -67,7 +72,7 @@ type Network struct {
 // gates transfers.
 func New(nodes int, model costs.Model) *Network {
 	if nodes <= 0 {
-		panic("memchan: network needs at least one node")
+		panic("simchan: network needs at least one node")
 	}
 	n := &Network{
 		nodes: nodes,
@@ -82,6 +87,12 @@ func New(nodes int, model costs.Model) *Network {
 	}
 	return n
 }
+
+// Kind identifies the backend as the virtual-time simulator.
+func (n *Network) Kind() transport.Kind { return transport.Sim }
+
+// Close is a no-op: the simulator holds no external resources.
+func (n *Network) Close() error { return nil }
 
 // Nodes returns the number of nodes on the network.
 func (n *Network) Nodes() int { return n.nodes }
@@ -128,7 +139,7 @@ func (n *Network) Tracer() *trace.Tracer { return n.tr }
 // the network latency.
 func (n *Network) Transfer(src int, nbytes int64, now int64) int64 {
 	if src < 0 || src >= n.nodes {
-		panic(fmt.Sprintf("memchan: transfer from invalid node %d", src))
+		panic(fmt.Sprintf("simchan: transfer from invalid node %d", src))
 	}
 	if nbytes <= 0 {
 		return now + n.model.MCWriteLatency
@@ -158,7 +169,7 @@ func (n *Network) Transfer(src int, nbytes int64, now int64) int64 {
 // WordBytes is the size of one region word. The hardware's write grain
 // is 32 bits; the simulator uses 64-bit words so applications can store
 // float64 data directly, and charges transfer sizes in these units.
-const WordBytes = 8
+const WordBytes = transport.WordBytes
 
 // Region is a Memory Channel region: words of memory replicated into the
 // receive regions of its receiver nodes. Writes through a transmit
@@ -176,7 +187,7 @@ type Region struct {
 // node. loopback configures whether a node's own writes are delivered
 // back to its receive region by the network (used for synchronization
 // objects); without it, writers must double writes locally via Poke.
-func (n *Network) NewRegion(words int, loopback bool) *Region {
+func (n *Network) NewRegion(words int, loopback bool) transport.Region {
 	recv := make([][]int64, n.nodes)
 	for i := range recv {
 		recv[i] = make([]int64, words)
@@ -188,11 +199,11 @@ func (n *Network) NewRegion(words int, loopback bool) *Region {
 // from any node are delivered to those receivers alone — the shape used
 // for home-node page copies and per-node metadata areas (paper Figures
 // 2 and 3).
-func (n *Network) NewRegionAt(words int, loopback bool, receivers ...int) *Region {
+func (n *Network) NewRegionAt(words int, loopback bool, receivers ...int) transport.Region {
 	recv := make([][]int64, n.nodes)
 	for _, r := range receivers {
 		if r < 0 || r >= n.nodes {
-			panic(fmt.Sprintf("memchan: invalid receiver node %d", r))
+			panic(fmt.Sprintf("simchan: invalid receiver node %d", r))
 		}
 		recv[r] = make([]int64, words)
 	}
@@ -202,8 +213,8 @@ func (n *Network) NewRegionAt(words int, loopback bool, receivers ...int) *Regio
 // Words returns the region's length in words.
 func (r *Region) Words() int { return r.words }
 
-// Network returns the network the region is mapped on.
-func (r *Region) Network() *Network { return r.net }
+// Fabric returns the network the region is mapped on.
+func (r *Region) Fabric() transport.Fabric { return r.net }
 
 // Receives reports whether node maps the region for receive.
 func (r *Region) Receives(node int) bool {
@@ -216,7 +227,7 @@ func (r *Region) Receives(node int) bool {
 func (r *Region) Read(node, off int) int64 {
 	b := r.recv[node]
 	if b == nil {
-		panic(fmt.Sprintf("memchan: node %d does not receive this region", node))
+		panic(fmt.Sprintf("simchan: node %d does not receive this region", node))
 	}
 	return atomic.LoadInt64(&b[off])
 }
@@ -258,7 +269,7 @@ func (r *Region) WriteBlock(from, off int, vals []int64, now int64) int64 {
 func (r *Region) Poke(node, off int, v int64) {
 	b := r.recv[node]
 	if b == nil {
-		panic(fmt.Sprintf("memchan: node %d does not receive this region", node))
+		panic(fmt.Sprintf("simchan: node %d does not receive this region", node))
 	}
 	atomic.StoreInt64(&b[off], v)
 }

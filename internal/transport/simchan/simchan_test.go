@@ -1,4 +1,4 @@
-package memchan
+package simchan
 
 import (
 	"sync"

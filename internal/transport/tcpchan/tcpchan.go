@@ -1,0 +1,282 @@
+// Package tcpchan is the socket transport backend: a fully-connected
+// mesh of TCP streams between the ranks of a multi-process run, each
+// stream carrying the versioned length-prefixed frames of
+// transport/wire. It implements transport.Messenger for the
+// multi-process DSM runtime (internal/mprun); the launcher
+// (cashmere-run -transport tcp) distributes the rank/address map and
+// then every rank calls Connect.
+//
+// # Mesh construction
+//
+// Rank i dials every rank j < i and accepts a connection from every
+// rank j > i, so each pair of ranks shares exactly one stream and the
+// dial/accept pattern is deadlock-free by construction (rank 0 only
+// accepts; the highest rank only dials). Each stream opens with a
+// wire.Hello exchange — dialer first — that carries the magic number,
+// the format version, and the sender's rank; Connect fails on a
+// mismatch rather than trusting an unversioned stream.
+//
+// # Delivery order
+//
+// Frames from one peer are delivered in the order sent (TCP FIFO);
+// frames from different peers are unordered relative to each other,
+// the same per-source guarantee the other backends give. All incoming
+// frames are funneled into a single dispatcher goroutine, so the
+// handler installed with SetHandler is never invoked concurrently —
+// protocol state above needs no locking against itself.
+package tcpchan
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"cashmere/internal/transport"
+	"cashmere/internal/transport/wire"
+)
+
+// Endpoint is one rank's side of the TCP mesh.
+type Endpoint struct {
+	self  int
+	conns []*conn // indexed by peer rank; nil at self
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []delivery
+	started bool
+	closed  bool
+	failure error
+
+	handler func(from int, f wire.Frame)
+	done    chan struct{}
+	readers sync.WaitGroup
+}
+
+type delivery struct {
+	from int
+	f    wire.Frame
+}
+
+// conn is one peer stream with its write lock (frames are single
+// writes, serialized so concurrent senders cannot interleave bytes).
+type conn struct {
+	c  net.Conn
+	wm sync.Mutex
+}
+
+var _ transport.Messenger = (*Endpoint)(nil)
+
+// Connect builds rank self's endpoint of an n-rank mesh, where
+// n = len(addrs) and addrs[j] is rank j's listen address. lis must be
+// the listener bound at addrs[self]; Connect takes ownership and
+// closes it before returning. It dials the lower ranks, accepts the
+// higher ones, and validates every stream's hello exchange.
+func Connect(self int, addrs []string, lis net.Listener) (*Endpoint, error) {
+	n := len(addrs)
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("tcpchan: rank %d outside 0..%d", self, n-1)
+	}
+	defer lis.Close()
+	e := &Endpoint{self: self, conns: make([]*conn, n)}
+	e.cond = sync.NewCond(&e.mu)
+
+	fail := func(err error) (*Endpoint, error) {
+		for _, pc := range e.conns {
+			if pc != nil {
+				pc.c.Close()
+			}
+		}
+		return nil, err
+	}
+
+	// Dial every lower rank; the dialer speaks first.
+	for j := 0; j < self; j++ {
+		c, err := net.Dial("tcp", addrs[j])
+		if err != nil {
+			return fail(fmt.Errorf("tcpchan: rank %d dialing rank %d at %s: %w", self, j, addrs[j], err))
+		}
+		e.conns[j] = &conn{c: c}
+		if err := wire.WriteFrame(c, wire.Hello(self)); err != nil {
+			return fail(fmt.Errorf("tcpchan: rank %d hello to rank %d: %w", self, j, err))
+		}
+		f, err := wire.ReadFrame(c)
+		if err != nil {
+			return fail(fmt.Errorf("tcpchan: rank %d reading hello from rank %d: %w", self, j, err))
+		}
+		rank, err := wire.CheckHello(f)
+		if err != nil {
+			return fail(fmt.Errorf("tcpchan: rank %d handshake with rank %d: %w", self, j, err))
+		}
+		if rank != j {
+			return fail(fmt.Errorf("tcpchan: dialed rank %d but peer identifies as rank %d", j, rank))
+		}
+	}
+
+	// Accept every higher rank, in whatever order they arrive.
+	for need := n - 1 - self; need > 0; need-- {
+		c, err := lis.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("tcpchan: rank %d accepting: %w", self, err))
+		}
+		f, err := wire.ReadFrame(c)
+		if err != nil {
+			c.Close()
+			return fail(fmt.Errorf("tcpchan: rank %d reading hello: %w", self, err))
+		}
+		rank, err := wire.CheckHello(f)
+		if err != nil {
+			c.Close()
+			return fail(fmt.Errorf("tcpchan: rank %d handshake: %w", self, err))
+		}
+		if rank <= self || rank >= n || e.conns[rank] != nil {
+			c.Close()
+			return fail(fmt.Errorf("tcpchan: unexpected connection from rank %d at rank %d", rank, self))
+		}
+		if err := wire.WriteFrame(c, wire.Hello(self)); err != nil {
+			c.Close()
+			return fail(fmt.Errorf("tcpchan: rank %d hello reply to rank %d: %w", self, rank, err))
+		}
+		e.conns[rank] = &conn{c: c}
+	}
+	return e, nil
+}
+
+// Self returns the local rank.
+func (e *Endpoint) Self() int { return e.self }
+
+// Peers returns the number of ranks in the mesh.
+func (e *Endpoint) Peers() int { return len(e.conns) }
+
+// Send delivers f to rank to. Sending to self enqueues the frame on
+// the local dispatcher like any received frame, preserving the
+// per-source order of a node's messages to itself.
+func (e *Endpoint) Send(to int, f wire.Frame) error {
+	if to < 0 || to >= len(e.conns) {
+		return fmt.Errorf("tcpchan: send to invalid rank %d", to)
+	}
+	if to == e.self {
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return fmt.Errorf("tcpchan: endpoint is closed")
+		}
+		e.inbox = append(e.inbox, delivery{from: e.self, f: f})
+		e.mu.Unlock()
+		e.cond.Signal()
+		return nil
+	}
+	pc := e.conns[to]
+	pc.wm.Lock()
+	err := wire.WriteFrame(pc.c, f)
+	pc.wm.Unlock()
+	if err != nil {
+		return fmt.Errorf("tcpchan: send to rank %d: %w", to, err)
+	}
+	return nil
+}
+
+// SetHandler installs the frame handler and starts the per-peer reader
+// goroutines and the single dispatcher. It must be called exactly
+// once, before any peer sends protocol traffic.
+func (e *Endpoint) SetHandler(h func(from int, f wire.Frame)) {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		panic("tcpchan: SetHandler called twice")
+	}
+	e.handler = h
+	e.started = true
+	e.done = make(chan struct{})
+	e.mu.Unlock()
+	for rank, pc := range e.conns {
+		if pc == nil {
+			continue
+		}
+		e.readers.Add(1)
+		go e.readLoop(rank, pc)
+	}
+	go e.dispatch()
+}
+
+// readLoop decodes rank's stream into the shared inbox until the
+// stream ends.
+func (e *Endpoint) readLoop(rank int, pc *conn) {
+	defer e.readers.Done()
+	for {
+		f, err := wire.ReadFrame(pc.c)
+		if err != nil {
+			e.mu.Lock()
+			if !e.closed && e.failure == nil {
+				e.failure = fmt.Errorf("tcpchan: stream from rank %d: %w", rank, err)
+			}
+			e.mu.Unlock()
+			e.cond.Broadcast()
+			return
+		}
+		e.mu.Lock()
+		e.inbox = append(e.inbox, delivery{from: rank, f: f})
+		e.mu.Unlock()
+		e.cond.Signal()
+	}
+}
+
+// dispatch runs the handler over the inbox in arrival order, one frame
+// at a time.
+func (e *Endpoint) dispatch() {
+	defer close(e.done)
+	for {
+		e.mu.Lock()
+		for len(e.inbox) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.inbox) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		batch := e.inbox
+		e.inbox = nil
+		e.mu.Unlock()
+		for _, d := range batch {
+			e.handler(d.from, d.f)
+		}
+	}
+}
+
+// Err returns the first stream failure observed by a reader, if any.
+// A failure after Close (the expected shutdown path) is not recorded.
+func (e *Endpoint) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failure
+}
+
+// Close shuts the endpoint down: already-queued frames are delivered,
+// the streams are closed, and the reader and dispatcher goroutines are
+// joined. Close is idempotent.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		started := e.started
+		e.mu.Unlock()
+		if started {
+			<-e.done
+		}
+		return nil
+	}
+	e.closed = true
+	started := e.started
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	if started {
+		<-e.done
+	}
+	for _, pc := range e.conns {
+		if pc != nil {
+			pc.c.Close()
+		}
+	}
+	if started {
+		e.readers.Wait()
+	}
+	return nil
+}
