@@ -21,6 +21,23 @@ package main
 // (tcpchan.Connect), run the application, and exit 0 on a verified
 // result. Everything else a child writes is streamed through the
 // parent: rank 0 verbatim, other ranks prefixed "[node R] ".
+//
+// # Observability
+//
+// With -trace or -http set, each child also streams observability
+// reports on the same pipe as single lines tagged
+//
+//	CASHMERE-MP-OBS <one-line JSON, metrics.MPReport>
+//
+// — periodic frame-counter snapshots every -mp-stats-interval, and one
+// final report at run exit that additionally carries the rank's trace
+// buffer, tracer epoch, and clock-offset estimates from the hello
+// exchange. The parent keeps the latest report per rank: -http serves
+// the aggregate on /metrics (cashmere_mp_* families) and per-rank
+// progress on /status, and -trace merges every rank's buffer into one
+// clock-aligned Perfetto timeline (trace.WriteChromeRanks). A missing
+// final trace report from any rank fails the run rather than writing a
+// partial timeline.
 
 import (
 	"bufio"
@@ -31,18 +48,28 @@ import (
 	"os/exec"
 	"strings"
 	"sync"
+	"time"
 
 	"cashmere/internal/apps"
 	"cashmere/internal/cli"
 	"cashmere/internal/costs"
+	"cashmere/internal/metrics"
 	"cashmere/internal/mprun"
+	"cashmere/internal/trace"
+	"cashmere/internal/transport"
 	"cashmere/internal/transport/tcpchan"
 )
 
 const (
 	mpAddrTag  = "CASHMERE-MP-ADDR"
 	mpPeersTag = "CASHMERE-MP-PEERS"
+	mpObsTag   = "CASHMERE-MP-OBS"
 )
+
+// mpMaxLine bounds one line of child output. A final observability
+// report carries a rank's whole trace buffer as JSON, far past
+// bufio.Scanner's 64 KiB default.
+const mpMaxLine = 256 << 20
 
 // runMPChild is the child side of the tcp launcher: announce a
 // listening address, receive the peer map, join the mesh, run the
@@ -76,10 +103,79 @@ func runMPChild(o cli.RunOptions, app apps.App, rank, nodes int) int {
 	}
 	defer ep.Close()
 
-	cfg := mprun.Config{Rank: rank, Nodes: nodes, PPN: o.PPN, Model: costs.Default()}
-	if err := mprun.Run(app, cfg, ep); err != nil {
-		fmt.Fprintf(os.Stderr, "cashmere-run: node %d: %v\n", rank, err)
+	// The child sees the parent's flags verbatim: -trace enables the
+	// rank-local tracer (the parent writes the merged file), and either
+	// -trace or -http enables frame statistics. The child itself never
+	// binds -http — the parent serves the aggregate.
+	var (
+		tr    *trace.Tracer
+		epoch int64
+		stats *transport.FrameStats
+	)
+	if o.Trace != "" {
+		epoch = time.Now().UnixNano()
+		tr = trace.New(trace.Config{Procs: o.PPN + 1})
+	}
+	if o.Trace != "" || o.HTTP != "" {
+		stats = transport.NewFrameStats(nodes)
+		ep.SetStats(stats)
+	}
+
+	report := func(final bool) metrics.MPReport {
+		rep := metrics.MPReport{Rank: rank, Nodes: nodes, PPN: o.PPN, App: app.Name(), Final: final}
+		if stats != nil {
+			s := stats.Snapshot()
+			rep.Frames = &s
+		}
+		if final && tr != nil {
+			rep.EpochUnixNS = epoch
+			rep.OffsetsNS = ep.ClockOffsets()
+			rep.TraceEvents = tr.Events()
+			rep.TraceDropped = tr.Dropped()
+		}
+		return rep
+	}
+	var outMu sync.Mutex // one report line per Write; never interleave
+	emit := func(rep metrics.MPReport) {
+		line, err := metrics.EncodeMPReport(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run: obs report:", err)
+			return
+		}
+		outMu.Lock()
+		fmt.Printf("%s %s\n", mpObsTag, line)
+		outMu.Unlock()
+	}
+	stopObs := func() {}
+	if stats != nil && o.MPStatsInterval > 0 {
+		stop := make(chan struct{})
+		var obsWG sync.WaitGroup
+		obsWG.Add(1)
+		go func() {
+			defer obsWG.Done()
+			tick := time.NewTicker(o.MPStatsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					emit(report(false))
+				}
+			}
+		}()
+		stopObs = func() { close(stop); obsWG.Wait() }
+	}
+
+	cfg := mprun.Config{Rank: rank, Nodes: nodes, PPN: o.PPN, Model: costs.Default(), Tracer: tr}
+	runErr := mprun.Run(app, cfg, ep)
+	stopObs()
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "cashmere-run: node %d: %v\n", rank, runErr)
 		return 1
+	}
+	if stats != nil || tr != nil {
+		emit(report(true))
 	}
 	if rank == 0 {
 		fmt.Printf("%s on %d:%d over tcp — %s\n", app.Name(), nodes*o.PPN, o.PPN, app.DataSet())
@@ -89,16 +185,95 @@ func runMPChild(o cli.RunOptions, app apps.App, rank, nodes int) int {
 	return 0
 }
 
+// obsCollector keeps the latest observability report per rank.
+type obsCollector struct {
+	mu     sync.Mutex
+	latest []*metrics.MPReport
+}
+
+func newObsCollector(nodes int) *obsCollector {
+	return &obsCollector{latest: make([]*metrics.MPReport, nodes)}
+}
+
+func (c *obsCollector) put(rep metrics.MPReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rep.Rank >= 0 && rep.Rank < len(c.latest) {
+		r := rep
+		c.latest[rep.Rank] = &r
+	}
+}
+
+// reports returns the latest report of every rank that has sent one.
+func (c *obsCollector) reports() []metrics.MPReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []metrics.MPReport
+	for _, r := range c.latest {
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
 // runMPParent launches o.Nodes child processes, brokers the address
-// exchange, relays their output, and reaps them. Returns the process
-// exit code.
+// exchange, relays their output, collects their observability reports,
+// and reaps them. Returns the process exit code.
 func runMPParent(o cli.RunOptions) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cashmere-run:", err)
 		return 1
 	}
+	if o.TraceTL != "" || o.Profile != "" {
+		fmt.Fprintln(os.Stderr, "cashmere-run: -trace-timeline and -profile are not supported with -transport tcp; ignored")
+	}
 	nodes := o.Nodes
+	coll := newObsCollector(nodes)
+
+	// Per-rank progress for /status: "running" until the reap, then
+	// "done" or "failed".
+	var stMu sync.Mutex
+	stStart := time.Now()
+	states := make([]string, nodes)
+	for i := range states {
+		states[i] = "running"
+	}
+
+	if o.HTTP != "" {
+		reg := metrics.NewRegistry()
+		reg.SetMPFunc(coll.reports)
+		reg.SetStatusFunc(func() metrics.Status {
+			stMu.Lock()
+			defer stMu.Unlock()
+			var s metrics.Status
+			for r, state := range states {
+				cell := metrics.CellStatus{Name: fmt.Sprintf("rank%d", r), State: state}
+				switch state {
+				case "running":
+					s.Running++
+					cell.WallMS = time.Since(stStart).Milliseconds()
+				case "failed":
+					s.Failed++
+					cell.WallMS = time.Since(stStart).Milliseconds()
+				default:
+					s.Done++
+					cell.WallMS = time.Since(stStart).Milliseconds()
+				}
+				s.Cells = append(s.Cells, cell)
+			}
+			return s
+		})
+		srv, err := reg.Start(o.HTTP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run: -http:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "cashmere-run: serving metrics on http://%s/\n", srv.Addr)
+		defer srv.Close()
+	}
+
 	type child struct {
 		cmd   *exec.Cmd
 		stdin io.WriteCloser
@@ -130,11 +305,28 @@ func runMPParent(o cli.RunOptions) int {
 		if err := cmd.Start(); err != nil {
 			return fail("node %d start: %v", r, err)
 		}
-		children[r] = &child{cmd: cmd, stdin: stdin, out: bufio.NewScanner(stdout)}
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 64<<10), mpMaxLine)
+		children[r] = &child{cmd: cmd, stdin: stdin, out: sc}
 	}
 
-	// Collect each child's announced address; relay any other output
-	// it produces before the announcement.
+	// handle routes one line of child output: observability reports to
+	// the collector, everything else to the relay.
+	handle := func(r int, line string) {
+		if body, ok := strings.CutPrefix(line, mpObsTag+" "); ok {
+			rep, err := metrics.DecodeMPReport(body)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cashmere-run: node %d: %v\n", r, err)
+				return
+			}
+			coll.put(rep)
+			return
+		}
+		relay(r, line)
+	}
+
+	// Collect each child's announced address; route any other output it
+	// produces before the announcement.
 	addrs := make([]string, nodes)
 	for r, c := range children {
 		for {
@@ -146,7 +338,7 @@ func runMPParent(o cli.RunOptions) int {
 				addrs[r] = strings.TrimSpace(a)
 				break
 			}
-			relay(r, line)
+			handle(r, line)
 		}
 	}
 	peers := mpPeersTag + " " + strings.Join(addrs, " ") + "\n"
@@ -164,19 +356,68 @@ func runMPParent(o cli.RunOptions) int {
 		go func(r int, c *child) {
 			defer wg.Done()
 			for c.out.Scan() {
-				relay(r, c.out.Text())
+				handle(r, c.out.Text())
+			}
+			if err := c.out.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "cashmere-run: node %d output: %v\n", r, err)
 			}
 		}(r, c)
 	}
 	wg.Wait()
 	code := 0
 	for r, c := range children {
-		if err := c.cmd.Wait(); err != nil {
+		err := c.cmd.Wait()
+		stMu.Lock()
+		if err != nil {
+			states[r] = "failed"
+		} else {
+			states[r] = "done"
+		}
+		stMu.Unlock()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "cashmere-run: node %d: %v\n", r, err)
 			code = 1
 		}
 	}
+
+	if o.Trace != "" {
+		// Merge every rank's trace buffer onto rank 0's clock. A rank
+		// that never delivered its final report (crash, dropped pipe)
+		// fails the run rather than producing a partial timeline.
+		tracks, err := metrics.MPTracks(coll.reports())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run: -trace:", err)
+			if code == 0 {
+				code = 1
+			}
+		} else if err := writeMPFile(o.Trace, tracks); err != nil {
+			fmt.Fprintln(os.Stderr, "cashmere-run: -trace:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
 	return code
+}
+
+// writeMPFile writes the merged multi-rank timeline to path ("-" for
+// stdout).
+func writeMPFile(path string, tracks []trace.RankTrack) error {
+	f := os.Stdout
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+	}
+	err := trace.WriteChromeRanks(f, tracks, trace.ChromeOptions{})
+	if f != os.Stdout {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // relay forwards one line of child output: rank 0 owns the run's

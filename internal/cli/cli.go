@@ -38,6 +38,9 @@ type RunOptions struct {
 	Profile    string
 	HTTP       string
 	Replay     string
+	// MPStatsInterval is how often each -transport tcp child streams an
+	// observability report to the launcher.
+	MPStatsInterval time.Duration
 }
 
 // Register installs cashmere-run's flags on fs.
@@ -60,6 +63,7 @@ func (o *RunOptions) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.Profile, "profile", "", `write a hot-page/hot-lock attribution report to this file ("-" for stdout)`)
 	fs.StringVar(&o.HTTP, "http", "", `serve live /metrics, /status, and pprof on this address (e.g. ":6060")`)
 	fs.StringVar(&o.Replay, "replay", "", "replay a model-checker counterexample JSON file and exit")
+	fs.DurationVar(&o.MPStatsInterval, "mp-stats-interval", 500*time.Millisecond, "frame-counter reporting interval of -transport tcp child processes (0 disables periodic reports)")
 }
 
 // BenchOptions is the flag set of cashmere-bench. Workers 0 means "use

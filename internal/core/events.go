@@ -42,8 +42,8 @@ func (p *Proc) emitSpan(k trace.Kind, page int, beginVT int64, arg, arg2 int64) 
 	})
 }
 
-// emitLink records an event on the processor's physical node's memchan
-// link track at virtual time vt.
+// emitLink records an event on the processor's physical node's fabric
+// link track (transport/simchan) at virtual time vt.
 func (p *Proc) emitLink(k trace.Kind, vt int64, page int, arg, arg2 int64) {
 	if p.ring == nil {
 		return

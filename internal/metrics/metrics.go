@@ -86,7 +86,8 @@ type Registry struct {
 	doneHubBusy   int64
 	hubSeen       bool
 
-	status func() Status // nil until SetStatusFunc
+	status func() Status     // nil until SetStatusFunc
+	mp     func() []MPReport // nil until SetMPFunc
 }
 
 // NewRegistry returns an empty registry.
@@ -148,6 +149,28 @@ func (r *Registry) SetStatusFunc(f func() Status) {
 	r.mu.Lock()
 	r.status = f
 	r.mu.Unlock()
+}
+
+// SetMPFunc installs the provider of the latest multi-process rank
+// reports; /metrics appends their families (WriteMPPrometheus) to
+// every scrape. The cashmere-run launcher installs it when children
+// stream observability reports. Passing nil removes the families.
+func (r *Registry) SetMPFunc(f func() []MPReport) {
+	r.mu.Lock()
+	r.mp = f
+	r.mu.Unlock()
+}
+
+// MPReports returns the latest multi-process rank reports, or nil when
+// no provider is installed.
+func (r *Registry) MPReports() []MPReport {
+	r.mu.Lock()
+	f := r.mp
+	r.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
 }
 
 // Status returns the current progress snapshot.

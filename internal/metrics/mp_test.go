@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cashmere/internal/trace"
+	"cashmere/internal/transport"
+)
+
+func sampleReports() []MPReport {
+	frames0 := &transport.MsgSnapshot{
+		Peers: 2,
+		Sent: []transport.FlowCount{
+			{Peer: 1, Type: "page-req", Frames: 4, Bytes: 200},
+			{Peer: 1, Type: "diff", Frames: 2, Bytes: 400},
+		},
+		Recv: []transport.FlowCount{
+			{Peer: 1, Type: "page-reply", Frames: 4, Bytes: 600},
+		},
+		PageFetchNS: trace.Hist{Count: 4, Sum: 4000, Buckets: []trace.HistBucket{{Lo: 512, Count: 4}}},
+	}
+	frames1 := &transport.MsgSnapshot{
+		Peers: 2,
+		Sent: []transport.FlowCount{
+			{Peer: 0, Type: "page-req", Frames: 3, Bytes: 150},
+		},
+		PageFetchNS: trace.Hist{Count: 3, Sum: 300, Buckets: []trace.HistBucket{{Lo: 64, Count: 3}}},
+	}
+	return []MPReport{
+		{Rank: 0, Nodes: 2, PPN: 2, App: "SOR", Final: true,
+			EpochUnixNS: 1_000_000, OffsetsNS: []int64{0, 500},
+			Frames: frames0,
+			TraceEvents: []trace.Event{
+				{Kind: trace.EvBarrier, Proc: 0, Node: 0, Page: -1, VT: 10, Dur: 5},
+			}},
+		{Rank: 1, Nodes: 2, PPN: 2, App: "SOR", Final: true,
+			EpochUnixNS: 1_000_400, OffsetsNS: []int64{-500, 0},
+			Frames: frames1,
+			TraceEvents: []trace.Event{
+				{Kind: trace.EvBarrier, Proc: 0, Node: 1, Page: -1, VT: 20, Dur: 6},
+			},
+			TraceDropped: 3},
+	}
+}
+
+func TestMPReportRoundTrip(t *testing.T) {
+	for _, rep := range sampleReports() {
+		line, err := EncodeMPReport(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.ContainsAny(line, "\n\r") {
+			t.Fatalf("encoded report contains a newline: %q", line)
+		}
+		back, err := DecodeMPReport(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Rank != rep.Rank || back.Final != rep.Final ||
+			back.EpochUnixNS != rep.EpochUnixNS ||
+			len(back.TraceEvents) != len(rep.TraceEvents) ||
+			back.TraceDropped != rep.TraceDropped {
+			t.Errorf("round trip lost data: %+v vs %+v", back, rep)
+		}
+		if rep.Frames != nil && (back.Frames == nil || back.Frames.PageFetchNS.Count != rep.Frames.PageFetchNS.Count) {
+			t.Errorf("frames lost in round trip")
+		}
+	}
+	if _, err := DecodeMPReport("{not json"); err == nil {
+		t.Error("DecodeMPReport accepted malformed input")
+	}
+	if _, err := DecodeMPReport(`{"rank":0,"surprise":1}`); err == nil {
+		t.Error("DecodeMPReport accepted unknown fields (protocol drift would pass silently)")
+	}
+}
+
+func TestMPTracksAlignment(t *testing.T) {
+	// Reports arrive in reverse rank order; tracks come back sorted with
+	// rank 0's clock as the reference.
+	reports := sampleReports()
+	reports[0], reports[1] = reports[1], reports[0]
+	tracks, err := MPTracks(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 2 || tracks[0].Rank != 0 || tracks[1].Rank != 1 {
+		t.Fatalf("tracks = %+v", tracks)
+	}
+	if tracks[0].Procs != 2 || tracks[1].Procs != 2 {
+		t.Errorf("Procs not carried: %+v", tracks)
+	}
+	// Rank 0: epoch 1_000_000, offset to itself 0.
+	if tracks[0].OffsetNS != 1_000_000 {
+		t.Errorf("rank 0 offset = %d, want 1000000", tracks[0].OffsetNS)
+	}
+	// Rank 1: epoch 1_000_400 in its own clock, which rank 0 estimates
+	// runs 500 ns ahead → 999_900 on rank 0's clock.
+	if tracks[1].OffsetNS != 999_900 {
+		t.Errorf("rank 1 offset = %d, want 999900", tracks[1].OffsetNS)
+	}
+}
+
+func TestMPTracksMissingRank(t *testing.T) {
+	reports := sampleReports()
+
+	if _, err := MPTracks(reports[:1]); err == nil || !strings.Contains(err.Error(), "rank(s) [1]") {
+		t.Errorf("missing rank 1 not reported: %v", err)
+	}
+
+	nonFinal := append([]MPReport(nil), reports...)
+	nonFinal[1].Final = false
+	if _, err := MPTracks(nonFinal); err == nil || !strings.Contains(err.Error(), "rank(s) [1]") {
+		t.Errorf("non-final report accepted as a trace source: %v", err)
+	}
+
+	dup := []MPReport{reports[0], reports[0]}
+	if _, err := MPTracks(dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate rank accepted: %v", err)
+	}
+
+	if _, err := MPTracks(nil); err == nil {
+		t.Error("empty report set accepted")
+	}
+}
+
+func TestWriteMPPrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMPPrometheus(&b, sampleReports()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"cashmere_mp_ranks 2\n",
+		`cashmere_mp_frames_total{rank="0",peer="1",dir="sent",type="page-req"} 4`,
+		`cashmere_mp_frames_total{rank="1",peer="0",dir="sent",type="page-req"} 3`,
+		`cashmere_mp_frame_bytes_total{rank="0",peer="1",dir="recv",type="page-reply"} 600`,
+		// Histogram aggregated across ranks: 3 samples in [64,128), 4 in
+		// [512,1024), cumulative at le=1024 is 7.
+		`cashmere_mp_page_fetch_latency_ns_bucket{le="128"} 3`,
+		`cashmere_mp_page_fetch_latency_ns_bucket{le="1024"} 7`,
+		`cashmere_mp_page_fetch_latency_ns_bucket{le="+Inf"} 7`,
+		"cashmere_mp_page_fetch_latency_ns_sum 4300",
+		"cashmere_mp_page_fetch_latency_ns_count 7",
+		`cashmere_mp_trace_events{rank="0"} 1`,
+		`cashmere_mp_trace_dropped_total{rank="1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Deterministic: same input, same bytes.
+	var b2 strings.Builder
+	if err := WriteMPPrometheus(&b2, sampleReports()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WriteMPPrometheus output not deterministic")
+	}
+}
+
+// TestMetricsEndpointServesMPFamilies wires an MP provider into a
+// registry and scrapes /metrics through the HTTP handler, proving the
+// parent's aggregated exposition includes both the core families and
+// the cashmere_mp_* families.
+func TestMetricsEndpointServesMPFamilies(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetMPFunc(func() []MPReport { return sampleReports() })
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{"cashmere_counter_total", "cashmere_mp_ranks 2", "cashmere_mp_frames_total{"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	reg.SetMPFunc(nil)
+	if got := reg.MPReports(); got != nil {
+		t.Errorf("MPReports after SetMPFunc(nil) = %v", got)
+	}
+}

@@ -28,6 +28,9 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WritePrometheus(w, r.Snapshot())
+		if reports := r.MPReports(); len(reports) > 0 {
+			_ = WriteMPPrometheus(w, reports)
+		}
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

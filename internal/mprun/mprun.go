@@ -41,6 +41,20 @@
 // node (the Messenger contract), so protocol state needs no locking
 // against concurrent frames — only against the node's processor
 // goroutines.
+//
+// # Observability
+//
+// With Config.Tracer set the runtime records wall-clock protocol
+// events on internal/trace rings: fault and page-fetch spans, diff
+// flushes, the release-fence wait (EvFlushFence), and lock, flag, and
+// barrier waits on each processor goroutine's ring, plus incoming
+// diffs and write notices on the frame handler's ring (index PPN, the
+// "net" track of a merged export). Page requests carry a fresh
+// correlation id in Frame.C that the home echoes into the reply, which
+// is what lets transport.FrameStats measure request→reply latency at
+// the messenger seam. A nil Tracer costs one branch per site and the
+// runtime sends byte-identical frames apart from those ids, which are
+// minted unconditionally.
 package mprun
 
 import (
@@ -51,6 +65,7 @@ import (
 
 	"cashmere/internal/apps"
 	"cashmere/internal/costs"
+	"cashmere/internal/trace"
 	"cashmere/internal/transport"
 	"cashmere/internal/transport/wire"
 )
@@ -67,6 +82,15 @@ type Config struct {
 	// Model is carried for the applications' Verify (sequential
 	// reference regeneration); no virtual time is charged.
 	Model costs.Model
+
+	// Tracer, when non-nil, records this node's protocol events: ring
+	// i < PPN belongs to processor goroutine i and ring PPN to the
+	// frame-handler goroutine, so size it with
+	// trace.Config{Procs: PPN + 1} and no link rings. The runtime has
+	// no virtual clock; events carry wall nanoseconds since the
+	// tracer's start in VT, which the Chrome exporters render
+	// directly. Nil disables tracing at one branch per site.
+	Tracer *trace.Tracer
 }
 
 // Run executes app across the mesh from this node's perspective: it
@@ -98,6 +122,7 @@ func Run(app apps.App, cfg Config, m transport.Messenger) error {
 	n := &node{
 		cfg:       cfg,
 		m:         m,
+		tr:        cfg.Tracer,
 		pageWords: pageWords,
 		nPages:    (words + pageWords - 1) / pageWords,
 		words:     words,
@@ -123,7 +148,7 @@ func Run(app apps.App, cfg Config, m transport.Messenger) error {
 		wg.Add(1)
 		go func(local int) {
 			defer wg.Done()
-			p := &proc{n: n, gpid: cfg.Rank*cfg.PPN + local}
+			p := &proc{n: n, gpid: cfg.Rank*cfg.PPN + local, local: local}
 			app.Body(p)
 			// Publish any writes the body left unflushed and hold every
 			// node here until the whole cluster is done.
@@ -196,6 +221,7 @@ type waiter struct {
 type node struct {
 	cfg       Config
 	m         transport.Messenger
+	tr        *trace.Tracer
 	pageWords int
 	nPages    int
 	words     int
@@ -214,6 +240,10 @@ type node struct {
 	// means a flush carries every local processor's writes).
 	flushOut int
 	tokenSeq int64
+	// corrSeq numbers this node's page requests; rank<<32|seq goes in
+	// Frame.C so the home's echoed reply can be correlated with the
+	// request (transport.FrameStats measures the round trip).
+	corrSeq int64
 
 	flags   []bool
 	granted map[int64]bool // gpid -> lock grant delivered
@@ -227,6 +257,42 @@ type node struct {
 }
 
 func (n *node) homeOf(page int) int { return page % n.cfg.Nodes }
+
+// wallNow returns the tracer-relative wall clock, or 0 when untraced.
+func (n *node) wallNow() int64 {
+	if n.tr == nil {
+		return 0
+	}
+	return n.tr.WallNow()
+}
+
+// emit records an instant on ring's track (processor goroutines own
+// rings 0..PPN-1, the frame handler ring PPN; ring -1 is dropped).
+// Holding n.mu while emitting is fine — Ring.Emit is a handful of
+// atomic stores — but each ring must keep its single producer.
+func (n *node) emit(ring int, k trace.Kind, page int, arg, arg2 int64) {
+	if n.tr == nil {
+		return
+	}
+	now := n.tr.WallNow()
+	n.tr.EmitProc(ring, trace.Event{
+		Kind: k, Proc: int32(ring), Node: int32(n.cfg.Rank),
+		Page: int32(page), VT: now, Arg: arg, Arg2: arg2,
+	})
+}
+
+// span records an interval that began at startNS (a wallNow stamp) and
+// ends now.
+func (n *node) span(ring int, k trace.Kind, page int, startNS, arg, arg2 int64) {
+	if n.tr == nil {
+		return
+	}
+	now := n.tr.WallNow()
+	n.tr.EmitProc(ring, trace.Event{
+		Kind: k, Proc: int32(ring), Node: int32(n.cfg.Rank),
+		Page: int32(page), VT: startNS, Dur: now - startNS, Arg: arg, Arg2: arg2,
+	})
+}
 
 func (n *node) send(to int, f wire.Frame) {
 	if err := n.m.Send(to, f); err != nil {
@@ -251,7 +317,9 @@ func (n *node) handle(from int, f wire.Frame) {
 		data := append([]int64(nil), hp.data...)
 		hp.sharers[from] = true
 		n.mu.Unlock()
-		n.send(from, wire.Frame{Type: wire.TPageReply, A: f.A, Words: data})
+		// Echo the requester's correlation id so its transport layer can
+		// pair the reply with the request.
+		n.send(from, wire.Frame{Type: wire.TPageReply, A: f.A, C: f.C, Words: data})
 
 	case wire.TPageReply:
 		n.mu.Lock()
@@ -289,21 +357,28 @@ func (n *node) handle(from int, f wire.Frame) {
 			n.pending[pendKey{f.A, f.B}] = &pend{remaining: len(notify), flusher: from}
 		}
 		n.mu.Unlock()
+		n.emit(n.cfg.PPN, trace.EvDiffIn, int(f.A), int64(len(f.Words)), int64(from))
 		if len(notify) == 0 {
 			n.send(from, wire.Frame{Type: wire.TFlushAck, A: f.A, B: f.B})
 			return
 		}
 		sort.Ints(notify)
 		for _, s := range notify {
+			n.emit(n.cfg.PPN, trace.EvNoticeSend, int(f.A), int64(s), 0)
 			n.send(s, wire.Frame{Type: wire.TWriteNotice, A: f.A, B: f.B})
 		}
 
 	case wire.TWriteNotice:
 		n.mu.Lock()
+		var invalidated int64
 		if cp := n.cache[int(f.A)]; cp != nil {
+			if cp.valid {
+				invalidated = 1
+			}
 			cp.valid = false
 		}
 		n.mu.Unlock()
+		n.emit(n.cfg.PPN, trace.EvNoticeApply, int(f.A), invalidated, int64(from))
 		n.send(from, wire.Frame{Type: wire.TNoticeAck, A: f.A, B: f.B})
 
 	case wire.TNoticeAck:
@@ -402,36 +477,68 @@ func (n *node) handle(from int, f wire.Frame) {
 }
 
 // ensureLocked makes page p's cached copy valid, requesting it from its
-// home as needed; called and returns with n.mu held.
-func (n *node) ensureLocked(p int) *cpage {
+// home as needed; called and returns with n.mu held. ring is the
+// calling goroutine's trace ring (-1 from the verification view). The
+// processor that sends the request records the fetch as an EvPageFetch
+// span from request to reply; pile-in waiters record only their fault
+// span.
+func (n *node) ensureLocked(ring, p int) *cpage {
 	cp := n.cache[p]
 	if cp == nil {
 		cp = &cpage{data: make([]int64, n.pageWords), dirty: make(map[int]int64)}
 		n.cache[p] = cp
 	}
+	var t0 int64
+	sent := false
 	for !cp.valid {
 		if !cp.requested {
 			cp.requested = true
-			n.send(n.homeOf(p), wire.Frame{Type: wire.TPageReq, A: int64(p)})
+			t0 = n.wallNow()
+			sent = true
+			n.corrSeq++
+			n.send(n.homeOf(p), wire.Frame{
+				Type: wire.TPageReq, A: int64(p),
+				C: int64(n.cfg.Rank)<<32 | n.corrSeq,
+			})
 		}
 		n.cond.Wait()
+	}
+	if sent {
+		n.span(ring, trace.EvPageFetch, p, t0,
+			int64(n.pageWords)*transport.WordBytes, int64(n.homeOf(p)))
 	}
 	return cp
 }
 
-func (n *node) load(addr int) int64 {
+func (n *node) load(ring, addr int) int64 {
 	p, off := addr/n.pageWords, addr%n.pageWords
 	n.mu.Lock()
-	cp := n.ensureLocked(p)
+	if cp := n.cache[p]; cp != nil && cp.valid {
+		v := cp.data[off]
+		n.mu.Unlock()
+		return v
+	}
+	t0 := n.wallNow()
+	cp := n.ensureLocked(ring, p)
 	v := cp.data[off]
 	n.mu.Unlock()
+	n.span(ring, trace.EvReadFault, p, t0, 0, 0)
 	return v
 }
 
-func (n *node) store(addr int, v int64) {
+func (n *node) store(ring, addr int, v int64) {
 	p, off := addr/n.pageWords, addr%n.pageWords
 	n.mu.Lock()
-	cp := n.ensureLocked(p)
+	cp := n.cache[p]
+	if cp == nil || !cp.valid {
+		t0 := n.wallNow()
+		cp = n.ensureLocked(ring, p)
+		cp.data[off] = v
+		cp.dirty[off] = v
+		n.mu.Unlock()
+		n.span(ring, trace.EvWriteFault, p, t0, 0, 0)
+		return
+	}
 	cp.data[off] = v
 	cp.dirty[off] = v
 	n.mu.Unlock()
@@ -440,14 +547,19 @@ func (n *node) store(addr int, v int64) {
 // flush publishes every dirty page to its home and waits until each
 // home confirms that all stale copies have been invalidated. It is the
 // release operation's write-back; the caller performs the matching
-// release message only after flush returns.
-func (n *node) flush() {
+// release message only after flush returns. ring is the flushing
+// processor's trace ring; the fence span covers diff construction
+// through the last flush-ack and is recorded only when the release
+// actually sent or waited on something.
+func (n *node) flush(ring int) {
 	n.mu.Lock()
+	t0 := n.wallNow()
 	n.tokenSeq++
 	token := int64(n.cfg.Rank)<<32 | n.tokenSeq
 	type outDiff struct {
-		page int
-		f    wire.Frame
+		page   int
+		lo, hi int
+		f      wire.Frame
 	}
 	var diffs []outDiff
 	for p, cp := range n.cache {
@@ -475,26 +587,33 @@ func (n *node) flush() {
 		// Our copy may be missing other nodes' concurrent writes the
 		// home has merged; refetch on next access.
 		cp.valid = false
-		diffs = append(diffs, outDiff{page: p, f: f})
+		diffs = append(diffs, outDiff{page: p, lo: offs[0], hi: offs[len(offs)-1], f: f})
 	}
 	n.flushOut += len(diffs)
 	for _, d := range diffs {
+		n.emit(ring, trace.EvDiffOut, d.page, int64(len(d.f.Words)), trace.PackWordSpan(d.lo, d.hi))
 		n.send(n.homeOf(d.page), d.f)
 	}
 	// Wait for every outstanding flush of this node, not just our own
 	// diffs: a release may carry no dirty words itself yet must still
 	// fence behind another local processor's in-flight invalidations.
+	fenced := len(diffs) > 0 || n.flushOut > 0
 	for n.flushOut > 0 {
 		n.cond.Wait()
 	}
 	n.mu.Unlock()
+	if fenced {
+		n.span(ring, trace.EvFlushFence, -1, t0, int64(len(diffs)), 0)
+	}
 }
 
 // proc is one processor goroutine's view of the DSM; it implements
-// apps.Proc.
+// apps.Proc. local is the node-relative index, which doubles as the
+// goroutine's trace ring.
 type proc struct {
 	n      *node
 	gpid   int
+	local  int
 	barGen int64
 }
 
@@ -503,12 +622,14 @@ var _ apps.Proc = (*proc)(nil)
 func (p *proc) ID() int     { return p.gpid }
 func (p *proc) NProcs() int { return p.n.cfg.Nodes * p.n.cfg.PPN }
 
-func (p *proc) Load(addr int) int64     { return p.n.load(addr) }
-func (p *proc) Store(addr int, v int64) { p.n.store(addr, v) }
+func (p *proc) Load(addr int) int64     { return p.n.load(p.local, addr) }
+func (p *proc) Store(addr int, v int64) { p.n.store(p.local, addr, v) }
 
-func (p *proc) LoadF(addr int) float64 { return math.Float64frombits(uint64(p.n.load(addr))) }
+func (p *proc) LoadF(addr int) float64 {
+	return math.Float64frombits(uint64(p.n.load(p.local, addr)))
+}
 func (p *proc) StoreF(addr int, v float64) {
-	p.n.store(addr, int64(math.Float64bits(v)))
+	p.n.store(p.local, addr, int64(math.Float64bits(v)))
 }
 
 func (p *proc) LoadFRow(dst []float64, addr int) {
@@ -535,6 +656,7 @@ func (p *proc) PollN(n int64) {}
 // Lock acquires application lock i through the rank-0 coordinator.
 func (p *proc) Lock(i int) {
 	n := p.n
+	t0 := n.wallNow()
 	n.send(0, wire.Frame{Type: wire.TLockReq, A: int64(i), B: int64(p.gpid)})
 	n.mu.Lock()
 	for !n.granted[int64(p.gpid)] {
@@ -542,39 +664,48 @@ func (p *proc) Lock(i int) {
 	}
 	delete(n.granted, int64(p.gpid))
 	n.mu.Unlock()
+	n.span(p.local, trace.EvLock, -1, t0, int64(i), 0)
 }
 
 // Unlock releases lock i: dirty pages are flushed before the grant can
 // pass to the next holder.
 func (p *proc) Unlock(i int) {
-	p.n.flush()
-	p.n.send(0, wire.Frame{Type: wire.TLockRelease, A: int64(i), B: int64(p.gpid)})
+	n := p.n
+	t0 := n.wallNow()
+	n.flush(p.local)
+	n.send(0, wire.Frame{Type: wire.TLockRelease, A: int64(i), B: int64(p.gpid)})
+	n.span(p.local, trace.EvUnlock, -1, t0, int64(i), 0)
 }
 
 // SetFlag raises flag i for the whole cluster after flushing, so a
 // woken waiter finds the protected data at its home.
 func (p *proc) SetFlag(i int) {
 	n := p.n
-	n.flush()
+	t0 := n.wallNow()
+	n.flush(p.local)
 	for r := 0; r < n.cfg.Nodes; r++ {
 		n.send(r, wire.Frame{Type: wire.TFlagSet, A: int64(i)})
 	}
+	n.span(p.local, trace.EvFlagSet, -1, t0, int64(i), 0)
 }
 
 // WaitFlag blocks until flag i is raised.
 func (p *proc) WaitFlag(i int) {
 	n := p.n
+	t0 := n.wallNow()
 	n.mu.Lock()
 	for !n.flags[i] {
 		n.cond.Wait()
 	}
 	n.mu.Unlock()
+	n.span(p.local, trace.EvFlagWait, -1, t0, int64(i), 0)
 }
 
 // Barrier flushes and waits for every processor in the cluster.
 func (p *proc) Barrier() {
 	n := p.n
-	n.flush()
+	t0 := n.wallNow()
+	n.flush(p.local)
 	p.barGen++
 	n.send(0, wire.Frame{Type: wire.TBarArrive, A: p.barGen, B: int64(p.gpid)})
 	n.mu.Lock()
@@ -582,6 +713,7 @@ func (p *proc) Barrier() {
 		n.cond.Wait()
 	}
 	n.mu.Unlock()
+	n.span(p.local, trace.EvBarrier, -1, t0, p.barGen, 0)
 }
 
 // BeginInit and EndInit bracket the initialization epoch with the same
@@ -610,7 +742,10 @@ func (p *proc) Warmup(f func()) {
 
 // memView is rank 0's post-run read of the shared space for Verify: it
 // fetches pages through the normal protocol (every final value is at
-// its home after the closing barrier).
+// its home after the closing barrier). It reads with ring -1 — the
+// verification pass runs on the main goroutine, which owns no trace
+// ring, so its events are dropped rather than corrupting a processor
+// track.
 type memView struct {
 	n *node
 }
@@ -619,8 +754,8 @@ var _ apps.Memory = (*memView)(nil)
 
 func (v *memView) Model() costs.Model { return v.n.cfg.Model }
 
-func (v *memView) ReadShared(addr int) int64 { return v.n.load(addr) }
+func (v *memView) ReadShared(addr int) int64 { return v.n.load(-1, addr) }
 
 func (v *memView) ReadSharedF(addr int) float64 {
-	return math.Float64frombits(uint64(v.n.load(addr)))
+	return math.Float64frombits(uint64(v.n.load(-1, addr)))
 }

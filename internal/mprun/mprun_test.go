@@ -1,11 +1,14 @@
 package mprun
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
 	"cashmere/internal/apps"
 	"cashmere/internal/costs"
+	"cashmere/internal/trace"
+	"cashmere/internal/transport"
 	"cashmere/internal/transport/shmchan"
 )
 
@@ -84,8 +87,204 @@ func TestFullSuiteTwoNodes(t *testing.T) {
 	}
 }
 
+// TestFullSuiteMatrix runs all eight applications at 2x2 and 3x2 —
+// multi-processor nodes (intra-node sharing through one cache) and an
+// uneven page distribution across three homes. Rank 0's Run verifies
+// the final memory against the sequential reference, so every cell is
+// a full end-to-end correctness check of the real concurrent protocol;
+// under -race it doubles as a synchronization audit.
+func TestFullSuiteMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix in -short mode")
+	}
+	for _, shape := range []struct{ nodes, ppn int }{{2, 2}, {3, 2}} {
+		for _, app := range apps.Small() {
+			mk, ok := smallByName[app.Name()]
+			if !ok {
+				t.Fatalf("no small constructor for %s", app.Name())
+			}
+			t.Run(fmt.Sprintf("%s/%dx%d", app.Name(), shape.nodes, shape.ppn), func(t *testing.T) {
+				shape := shape
+				t.Parallel()
+				runMesh(t, mk, shape.nodes, shape.ppn)
+			})
+		}
+	}
+}
+
 func TestThreeNodesUnevenProcs(t *testing.T) {
 	runMesh(t, func() apps.App { return apps.SmallSOR() }, 3, 2)
+}
+
+// TestTracedRunStructure runs SOR on a traced, frame-counted 2x2 mesh
+// and checks the observability layer end to end: per-processor fault
+// and synchronization spans, handler-ring diff events, flush fences,
+// and transport counters whose request/reply totals must agree with
+// the correlated latency histograms.
+func TestTracedRunStructure(t *testing.T) {
+	const nodes, ppn = 2, 2
+	mesh := shmchan.NewMesh(nodes)
+	trs := make([]*trace.Tracer, nodes)
+	stats := make([]*transport.FrameStats, nodes)
+	for r := 0; r < nodes; r++ {
+		trs[r] = trace.New(trace.Config{Procs: ppn + 1})
+		stats[r] = transport.NewFrameStats(nodes)
+		mesh.Endpoint(r).SetStats(stats[r])
+	}
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for r := 0; r < nodes; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := Config{Rank: r, Nodes: nodes, PPN: ppn, Model: costs.Default(), Tracer: trs[r]}
+			errs[r] = Run(apps.SmallSOR(), cfg, mesh.Endpoint(r))
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < nodes; r++ {
+		mesh.Endpoint(r).Close()
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+
+	diffIns := 0
+	for r := 0; r < nodes; r++ {
+		evs := trs[r].Events()
+		if len(evs) == 0 {
+			t.Fatalf("rank %d recorded no events", r)
+		}
+		kindsByRing := map[int]map[trace.Kind]int{}
+		for _, e := range evs {
+			ring := int(e.Proc)
+			if ring < 0 || ring > ppn {
+				t.Fatalf("rank %d event on ring %d (valid: 0..%d): %+v", r, ring, ppn, e)
+			}
+			if kindsByRing[ring] == nil {
+				kindsByRing[ring] = map[trace.Kind]int{}
+			}
+			kindsByRing[ring][e.Kind]++
+			switch e.Kind {
+			case trace.EvBarrier, trace.EvFlushFence, trace.EvReadFault, trace.EvWriteFault, trace.EvPageFetch:
+				if e.Dur <= 0 {
+					t.Errorf("rank %d %v event with non-positive duration: %+v", r, e.Kind, e)
+				}
+			}
+		}
+		// Every processor goroutine barriers at least once (the
+		// run-ending barrier), on its own ring.
+		for ring := 0; ring < ppn; ring++ {
+			if kindsByRing[ring][trace.EvBarrier] == 0 {
+				t.Errorf("rank %d ring %d: no barrier spans", r, ring)
+			}
+		}
+		// SOR shares boundary rows, so someone faulted and fetched.
+		var faults, fetches, fences int
+		for ring := 0; ring < ppn; ring++ {
+			faults += kindsByRing[ring][trace.EvReadFault] + kindsByRing[ring][trace.EvWriteFault]
+			fetches += kindsByRing[ring][trace.EvPageFetch]
+			fences += kindsByRing[ring][trace.EvFlushFence]
+		}
+		if faults == 0 || fetches == 0 || fences == 0 {
+			t.Errorf("rank %d: faults=%d fetches=%d fences=%d, want all nonzero", r, faults, fetches, fences)
+		}
+		// Only handler kinds live on the handler ring. (Which ranks see
+		// incoming diffs depends on the app's page layout, so diff-in
+		// presence is asserted cluster-wide below.)
+		diffIns += kindsByRing[ppn][trace.EvDiffIn]
+		for k := range kindsByRing[ppn] {
+			switch k {
+			case trace.EvDiffIn, trace.EvNoticeSend, trace.EvNoticeApply:
+			default:
+				t.Errorf("rank %d: unexpected %v on the handler ring", r, k)
+			}
+		}
+
+		// Transport counters: every page request carried a correlation
+		// id and every reply echoes it, so the latency histogram count
+		// must equal the number of requests sent.
+		snap := stats[r].Snapshot()
+		var reqs, replies int64
+		for _, f := range snap.Sent {
+			if f.Type == "page-req" {
+				reqs += f.Frames
+			}
+		}
+		for _, f := range snap.Recv {
+			if f.Type == "page-reply" {
+				replies += f.Frames
+			}
+		}
+		if reqs == 0 {
+			t.Errorf("rank %d sent no page requests", r)
+		}
+		if replies != reqs {
+			t.Errorf("rank %d: %d page replies for %d requests", r, replies, reqs)
+		}
+		if snap.PageFetchNS.Count != reqs {
+			t.Errorf("rank %d: %d fetch latency samples for %d requests", r, snap.PageFetchNS.Count, reqs)
+		}
+		for _, f := range append(append([]transport.FlowCount(nil), snap.Sent...), snap.Recv...) {
+			if f.Bytes <= 0 || f.Frames <= 0 {
+				t.Errorf("rank %d: non-positive flow %+v", r, f)
+			}
+		}
+	}
+	if diffIns == 0 {
+		t.Error("no diff-in events on any rank's handler ring")
+	}
+}
+
+// TestUntracedRunMintsCorrelationIDs pins the protocol detail the
+// transport statistics depend on: page requests carry a nonzero
+// Frame.C even when tracing is off, so attaching FrameStats alone
+// (the -http path) still yields fetch latencies.
+func TestUntracedRunMintsCorrelationIDs(t *testing.T) {
+	const nodes = 2
+	mesh := shmchan.NewMesh(nodes)
+	stats := make([]*transport.FrameStats, nodes)
+	for r := 0; r < nodes; r++ {
+		stats[r] = transport.NewFrameStats(nodes)
+		mesh.Endpoint(r).SetStats(stats[r])
+	}
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for r := 0; r < nodes; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := Config{Rank: r, Nodes: nodes, PPN: 1, Model: costs.Default()}
+			errs[r] = Run(apps.SmallSOR(), cfg, mesh.Endpoint(r))
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < nodes; r++ {
+		mesh.Endpoint(r).Close()
+	}
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < nodes; r++ {
+		snap := stats[r].Snapshot()
+		var reqs int64
+		for _, f := range snap.Sent {
+			if f.Type == "page-req" {
+				reqs += f.Frames
+			}
+		}
+		if reqs == 0 {
+			t.Fatalf("rank %d sent no page requests", r)
+		}
+		if snap.PageFetchNS.Count != reqs {
+			t.Errorf("rank %d: %d fetch latency samples for %d requests (correlation ids missing without a tracer?)",
+				r, snap.PageFetchNS.Count, reqs)
+		}
+	}
 }
 
 func TestSingleNode(t *testing.T) {

@@ -11,8 +11,10 @@ import (
 // (https://ui.perfetto.dev) loads directly. The timeline is virtual
 // time — the time axis the protocol's cost model defines — rendered as
 // one process ("processors") with a thread per simulated processor and
-// a second process ("memchan") with a thread per link. Spans are "X"
-// (complete) events; instants are "i" events with thread scope.
+// a second process with a thread per fabric link (transport/simchan;
+// the track group keeps its historical "memchan" name so existing
+// Perfetto queries stay valid). Spans are "X" (complete) events;
+// instants are "i" events with thread scope.
 //
 // By default the export contains only virtual-time data and is
 // therefore byte-for-byte deterministic for deterministic runs (the
@@ -70,6 +72,36 @@ var argNames = map[Kind][2]string{
 	EvMsgSend:         {"off", "subtype"},
 	EvPolicyMode:      {"old_mode", "new_mode"},
 	EvPolicyReplicate: {"nodes", ""},
+	EvFlushFence:      {"pages", ""},
+}
+
+// eventArgs builds the kind-specific args map the exporters share, or
+// nil when the event carries nothing worth rendering.
+func eventArgs(e Event, wall bool) map[string]any {
+	args := make(map[string]any)
+	if e.Page >= 0 {
+		args["page"] = e.Page
+	}
+	names := argNames[e.Kind]
+	if names[0] == "" {
+		names[0] = "arg"
+	}
+	if names[1] == "" {
+		names[1] = "arg2"
+	}
+	if e.Arg != 0 {
+		args[names[0]] = e.Arg
+	}
+	if e.Arg2 != 0 {
+		args[names[1]] = e.Arg2
+	}
+	if wall {
+		args["wt_ns"] = e.WT
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
 }
 
 // WriteChrome writes the tracer's events as Chrome trace-event JSON.
@@ -119,29 +151,7 @@ func WriteChrome(w io.Writer, t *Tracer, opts ChromeOptions) error {
 			ce.Ph = "i"
 			ce.S = "t"
 		}
-		args := make(map[string]any)
-		if e.Page >= 0 {
-			args["page"] = e.Page
-		}
-		names := argNames[e.Kind]
-		if names[0] == "" {
-			names[0] = "arg"
-		}
-		if names[1] == "" {
-			names[1] = "arg2"
-		}
-		if e.Arg != 0 {
-			args[names[0]] = e.Arg
-		}
-		if e.Arg2 != 0 {
-			args[names[1]] = e.Arg2
-		}
-		if opts.Wall {
-			args["wt_ns"] = e.WT
-		}
-		if len(args) > 0 {
-			ce.Args = args
-		}
+		ce.Args = eventArgs(e, opts.Wall)
 		file.TraceEvents = append(file.TraceEvents, ce)
 	}
 

@@ -46,6 +46,19 @@ func (r *Ring) note(e Event) {
 	}
 }
 
+// HistAcc is the exported power-of-two histogram accumulator for
+// layers outside the tracer rings (the transport frame statistics use
+// it for request→reply wall latencies). All operations are atomic:
+// Add may be called from any number of goroutines concurrently with
+// Export.
+type HistAcc struct{ h hist }
+
+// Add records one sample (negative values count as zero).
+func (a *HistAcc) Add(v int64) { a.h.add(v) }
+
+// Export renders the accumulator's current state.
+func (a *HistAcc) Export() Hist { return exportHist(&a.h) }
+
 // HistBucket is one populated histogram bucket: values in [Lo, 2*Lo)
 // (Lo = 0 covers exactly zero).
 type HistBucket struct {

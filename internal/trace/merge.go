@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Multi-rank Chrome trace-event export for the multi-process DSM
+// runtime (internal/mprun). Where WriteChrome renders one simulated
+// cluster on the virtual-time axis, WriteChromeRanks merges the
+// wall-clock event buffers collected from N separate OS processes into
+// a single timeline: one Perfetto process ("rank R") per rank, with a
+// thread per local processor goroutine plus a "net" thread for the
+// rank's frame-handler goroutine. Each rank's clock is shifted by its
+// estimated offset from rank 0 (measured during the transport hello
+// exchange; see transport/tcpchan.ClockOffsets) so spans that causally
+// ordered across ranks — a TPageReq on one rank and the TPageReply
+// serviced on another — line up on screen to within the estimate's
+// error (about half the connection round-trip).
+
+// RankTrack is one rank's recorded events, positioned on the merged
+// timeline.
+type RankTrack struct {
+	// Rank is the node's rank; it names the Perfetto process.
+	Rank int
+	// Procs is the number of local processor threads. An event whose
+	// Proc equals Procs is rendered on the rank's "net" (frame handler)
+	// thread; smaller values on "proc <i>".
+	Procs int
+	// OffsetNS is added to every event timestamp to align this rank's
+	// clock with the merged timeline (typically: the rank's tracer epoch
+	// in rank-0 clock terms; the exporter re-bases the merged timeline
+	// to start at zero, so only differences between tracks matter).
+	OffsetNS int64
+	// Events are the rank's committed events in emission order. VT
+	// carries the rank-local wall-clock nanosecond stamp (the
+	// multi-process runtime has no virtual clock).
+	Events []Event
+}
+
+// WriteChromeRanks writes the merged multi-rank timeline as Chrome
+// trace-event JSON. Output is deterministic for fixed inputs: events
+// are ordered by aligned timestamp, then rank, then thread, then
+// per-track emission order.
+func WriteChromeRanks(w io.Writer, tracks []RankTrack, opts ChromeOptions) error {
+	file := chromeFile{DisplayTimeUnit: "ns"}
+
+	sorted := append([]RankTrack(nil), tracks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+
+	// Re-base so the merged timeline starts at zero: Perfetto renders
+	// absolute unix-epoch microseconds poorly.
+	base := int64(0)
+	haveBase := false
+	for _, tk := range sorted {
+		for _, e := range tk.Events {
+			if t := e.VT + tk.OffsetNS; !haveBase || t < base {
+				base, haveBase = t, true
+			}
+		}
+	}
+
+	for _, tk := range sorted {
+		pid := tk.Rank + 1
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "rank " + strconv.Itoa(tk.Rank)},
+		})
+		for i := 0; i <= tk.Procs; i++ {
+			name := "proc " + strconv.Itoa(i)
+			if i == tk.Procs {
+				name = "net"
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i,
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+
+	type keyed struct {
+		ce   chromeEvent
+		ts   int64
+		rank int
+		tid  int
+		seq  int
+	}
+	var all []keyed
+	for _, tk := range sorted {
+		for i, e := range tk.Events {
+			at := e.VT + tk.OffsetNS - base
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				Cat:  "mprun",
+				Ts:   float64(at) / 1e3, // trace-event ts is microseconds
+				Pid:  tk.Rank + 1,
+				Tid:  int(e.Proc),
+			}
+			if e.Dur > 0 {
+				ce.Ph = "X"
+				d := float64(e.Dur) / 1e3
+				ce.Dur = &d
+			} else {
+				ce.Ph = "i"
+				ce.S = "t"
+			}
+			ce.Args = eventArgs(e, opts.Wall)
+			all = append(all, keyed{ce: ce, ts: at, rank: tk.Rank, tid: int(e.Proc), seq: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		return a.seq < b.seq
+	})
+	for _, k := range all {
+		file.TraceEvents = append(file.TraceEvents, k.ce)
+	}
+
+	buf, err := json.MarshalIndent(&file, "", " ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

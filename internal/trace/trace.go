@@ -16,7 +16,9 @@
 // Exporters turn a recorded run into:
 //
 //   - Chrome trace-event JSON ([WriteChrome]), loadable in Perfetto,
-//     with one track per simulated processor and one per memchan link;
+//     with one track per simulated processor and one per fabric link
+//     (transport/simchan), plus a multi-rank merge ([WriteChromeRanks])
+//     for the multi-process runtime;
 //   - a per-page text timeline ([WritePageTimeline]), the structured
 //     successor of the CASHMERE_TRACE_PAGE stderr dump; and
 //   - histogram summaries ([Tracer.Summary]: fault latency, diff size,
@@ -68,11 +70,12 @@ const (
 	EvFlagWait             // span: flag wait through acquire actions; Arg=flag index
 	EvDirUpdate            // instant: directory word broadcast; Arg=writing protocol node
 	EvHomeMigrate          // instant: first-touch superpage relocation; Arg=old home, Arg2=new home
-	EvLinkTransfer         // span: bulk transfer occupying a memchan link; Arg=bytes
-	EvMsgSend              // instant/span: synchronization write on a memchan link; Arg2=msgLock*/msgFlag* subtype
+	EvLinkTransfer         // span: bulk transfer occupying a fabric link; Arg=bytes
+	EvMsgSend              // instant/span: synchronization write on a fabric link; Arg2=msgLock*/msgFlag* subtype
 	EvMsgDeliver           // instant: synchronization write observed by a waiter
 	EvPolicyMode           // instant: adaptive policy changed a page's coherence mode; Arg=old mode, Arg2=new mode
 	EvPolicyReplicate      // instant: adaptive policy replicated a page cluster-wide; Arg=nodes touched
+	EvFlushFence           // span: multi-process release flush through the last flush-ack; Arg=pages flushed
 	numKinds
 )
 
@@ -110,6 +113,7 @@ var kindNames = [...]string{
 	EvMsgDeliver:      "msg-deliver",
 	EvPolicyMode:      "policy-mode",
 	EvPolicyReplicate: "policy-replicate",
+	EvFlushFence:      "flush-fence",
 }
 
 // String returns the event kind's name.
@@ -255,7 +259,9 @@ func (r *Ring) Snapshot(dst []Event) []Event {
 type Config struct {
 	// Procs and Links size the per-processor and per-link ring sets. A
 	// cluster needs one ring per simulated processor and one per
-	// physical node (memchan link).
+	// physical node (fabric link). The multi-process runtime uses one
+	// ring per local processor goroutine plus one for the frame-handler
+	// goroutine, and no link rings.
 	Procs int
 	Links int
 

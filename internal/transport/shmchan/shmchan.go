@@ -378,9 +378,17 @@ type Endpoint struct {
 	queue  []queued
 	closed bool
 
+	stats   *transport.FrameStats
 	started bool
 	handler func(from int, f wire.Frame)
 	done    chan struct{}
+}
+
+// SetStats attaches a frame-statistics collector recording every frame
+// this endpoint sends and receives (nil detaches). Call it before the
+// mesh carries protocol traffic.
+func (e *Endpoint) SetStats(s *transport.FrameStats) {
+	e.stats = s
 }
 
 // Self returns the local node's rank.
@@ -394,6 +402,9 @@ func (e *Endpoint) Peers() int { return len(e.mesh.eps) }
 func (e *Endpoint) Send(to int, f wire.Frame) error {
 	if to < 0 || to >= len(e.mesh.eps) {
 		return fmt.Errorf("shmchan: send to invalid endpoint %d", to)
+	}
+	if e.stats != nil {
+		e.stats.RecordSend(to, f)
 	}
 	dst := e.mesh.eps[to]
 	dst.mu.Lock()
@@ -437,6 +448,9 @@ func (e *Endpoint) dispatch() {
 		e.queue = nil
 		e.mu.Unlock()
 		for _, q := range batch {
+			if e.stats != nil {
+				e.stats.RecordRecv(q.from, q.f)
+			}
 			e.handler(q.from, q.f)
 		}
 	}

@@ -164,6 +164,28 @@ func Hello(rank int) Frame {
 	return Frame{Type: THello, A: Magic, B: Version, C: int64(rank)}
 }
 
+// HelloAt returns the connection-opening frame for the given rank,
+// carrying the sender's wall clock (unix nanoseconds) as the first
+// payload word. Receivers estimate per-peer clock offsets from it
+// (tcpchan.ClockOffsets); CheckHello ignores the payload, so a peer
+// sending a plain Hello simply provides no estimate. The frame layout
+// is unchanged — Words was always legal on any type — so this needs no
+// version bump.
+func HelloAt(rank int, clockNS int64) Frame {
+	f := Hello(rank)
+	f.Words = []int64{clockNS}
+	return f
+}
+
+// HelloClock extracts the sender's clock stamp from a hello frame. ok
+// is false when the hello carries none (a plain Hello).
+func HelloClock(f Frame) (clockNS int64, ok bool) {
+	if f.Type != THello || len(f.Words) == 0 {
+		return 0, false
+	}
+	return f.Words[0], true
+}
+
 // CheckHello validates a connection's first frame and returns the
 // sender's rank. It rejects non-Hello frames, a wrong magic number,
 // and a version mismatch — each with an error naming what was seen.
